@@ -1,0 +1,63 @@
+"""E5 — Paper Table V: CLOMP flattening speedups over four problem
+shapes, ± --fast.
+
+Paper (w/o --fast): 1024/64,000 → 1.84; 65536/10 → 1.09;
+12/640,000 → 2.13; 65536/6400 → 1.10.  The pattern: zone-dominated
+shapes get the full nested-structure-elimination win; part-heavy shapes
+are memory-bound either way, and the speedup compresses toward 1.
+Our shapes are interpreter-scale analogues (see clomp.TABLE_V_SHAPES).
+"""
+
+from conftest import record_result, run_once
+
+from repro.bench import harness
+from repro.views.tables import render_table
+
+PAPER_WO = {"1024/64,000": 1.84, "65536/10": 1.09, "12/640,000": 2.13, "65536/6400": 1.10}
+PAPER_W = {"1024/64,000": 2.59, "65536/10": 2.40, "12/640,000": 2.65, "65536/6400": 1.96}
+
+
+def measure():
+    return harness.clomp_table_v()
+
+
+def test_table5_clomp_speedups(benchmark, record):
+    results = run_once(benchmark, measure)
+    by_label = {}
+    rows = []
+    for label, parts, zones, r in results:
+        wo = r.speedup("opt", "orig")
+        w = r.speedup("opt/fast", "orig/fast")
+        by_label[label] = (wo, w)
+        rows.append(
+            [
+                label,
+                f"{parts}/{zones}",
+                f"{wo:.2f}",
+                f"{PAPER_WO[label]:.2f}",
+                f"{w:.2f}",
+                f"{PAPER_W[label]:.2f}",
+            ]
+        )
+
+    # Zone-dominated shapes (rows 1, 3): the big win.
+    assert by_label["1024/64,000"][0] > 1.5
+    assert by_label["12/640,000"][0] > 1.5
+    # Part-heavy shapes (rows 2, 4): compressed toward 1 (paper ~1.1).
+    assert by_label["65536/10"][0] < 1.35
+    assert by_label["65536/6400"][0] < 1.45
+    # Crossover preserved: zone-heavy beats part-heavy decisively.
+    assert by_label["12/640,000"][0] > by_label["65536/10"][0] + 0.3
+    # Optimization survives --fast everywhere.
+    for label, (wo, w) in by_label.items():
+        assert w > 0.8 * wo
+
+    record(
+        "table5_clomp_speedup",
+        render_table(
+            ["Paper shape", "Our shape", "w/o fast", "paper", "w/ fast", "paper"],
+            rows,
+            title="Table V — CLOMP speedups by problem shape",
+            aligns=["l", "l", "r", "r", "r", "r"],
+        ),
+    )

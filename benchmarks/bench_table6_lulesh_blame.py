@@ -1,0 +1,72 @@
+"""E7 — Paper Table VI: LULESH variables and their blame.
+
+Paper: hgfx/y/z ≈ 29–31 % (CalcFBHourglassForceForElems), shx/y/z and
+hx/y/z ≈ 26–28 % (CalcElemFBHourglassForce), hourgam 25 %, determ
+15.7 % (CalcVolumeForceForElems), b_x/y/z ≈ 9–10 %
+(IntegrateStressForElems), dvdx 8.3 %, hourmodx/y/z ≈ 5–6 %.
+The sum exceeds 100 % (inclusive blame).
+"""
+
+from conftest import record_result, run_once
+
+from repro.bench import harness
+from repro.views.tables import render_table
+
+PAPER = {
+    "hgfx": (0.295, "CalcFBHourglassForceForElems"),
+    "hgfy": (0.292, "CalcFBHourglassForceForElems"),
+    "hgfz": (0.308, "CalcFBHourglassForceForElems"),
+    "shx": (0.269, "CalcElemFBHourglassForce"),
+    "hx": (0.266, "CalcElemFBHourglassForce"),
+    "hourgam": (0.250, "CalcFBHourglassForceForElems"),
+    "determ": (0.157, "CalcVolumeForceForElems"),
+    "b_x": (0.097, "IntegrateStressForElems"),
+    "dvdx": (0.083, "CalcHourglassControlForElems"),
+    "hourmodx": (0.058, "CalcFBHourglassForceForElems"),
+}
+
+
+def profile():
+    return harness.lulesh_profile()
+
+
+def test_table6_lulesh_blame(benchmark, record):
+    res = run_once(benchmark, profile)
+    rep = res.report
+    m = {name: rep.blame_of(name) for name in PAPER}
+
+    # Top tier: the hourglass-force family.
+    assert m["hgfx"] > 0.15 and m["hgfy"] > 0.15 and m["hgfz"] > 0.15
+    assert m["hourgam"] > 0.15
+    # hourmod* small but present (paper ≈ 5 %).
+    assert 0.005 < m["hourmodx"] < 0.15
+    # The per-element temporaries and arrays in their bands.
+    assert 0.02 < m["b_x"] < 0.3
+    assert 0.01 < m["dvdx"] < 0.25
+    assert 0.01 < m["determ"] < 0.3
+    assert m["shx"] > 0.02 and m["hx"] > 0.01
+    # Ordering: hgf family above hourmod family (paper's top vs bottom).
+    assert m["hgfx"] > m["hourmodx"]
+    # Inclusive semantics: totals exceed 100 %.
+    assert sum(r.blame for r in rep.rows) > 1.0
+
+    # Contexts match the paper's Context column.
+    for name, (_, ctx) in PAPER.items():
+        row = rep.row_for(name)
+        assert row is not None, name
+        assert row.context == ctx, (name, row.context)
+
+    rows = [
+        [n, rep.row_for(n).type_str, f"{100*m[n]:.1f}%",
+         f"{100*PAPER[n][0]:.1f}%", PAPER[n][1]]
+        for n in PAPER
+    ]
+    record(
+        "table6_lulesh_blame",
+        render_table(
+            ["Name", "Type", "Blame (measured)", "Blame (paper)", "Context"],
+            rows,
+            title=f"Table VI — LULESH blame ({rep.stats.user_samples} samples)",
+            aligns=["l", "l", "r", "r", "l"],
+        ),
+    )

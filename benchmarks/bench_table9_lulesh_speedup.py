@@ -1,0 +1,65 @@
+"""E10 — Paper Table IX: LULESH optimization speedups, ± --fast.
+
+Paper (w/o --fast): Best Case 1.38, VG 1.25, P 1 1.07, CENN 1.08.
+Paper (w/ --fast):  Best Case 1.47, VG 1.39, P 1 1.04, CENN 1.02.
+
+Reproduced shape: VG is the biggest single win (allocation hoisting),
+P1 and CENN give single-digit gains, the combination is best, and all
+of it survives --fast.
+"""
+
+from conftest import record_result, run_once
+
+from repro.bench import harness
+from repro.views.tables import render_table
+
+PAPER = {
+    "Best Case": (1.38, 1.47),
+    "VG": (1.25, 1.39),
+    "P 1": (1.07, 1.04),
+    "CENN": (1.08, 1.02),
+    "Original": (1.00, 1.00),
+}
+
+
+def measure():
+    return harness.lulesh_table_ix()
+
+
+def test_table9_lulesh_speedups(benchmark, record):
+    data = run_once(benchmark, measure)
+
+    # Ranking: Best > VG > {P1, CENN} > 1.
+    assert data["Best Case"]["speedup"] > data["VG"]["speedup"]
+    assert data["VG"]["speedup"] > data["P 1"]["speedup"]
+    assert data["VG"]["speedup"] > data["CENN"]["speedup"]
+    # Bands: VG ≈ 1.2–1.35 (paper 1.25); P1/CENN single-digit gains.
+    assert 1.1 < data["VG"]["speedup"] < 1.45
+    assert 1.0 < data["P 1"]["speedup"] < 1.2
+    assert 1.0 < data["CENN"]["speedup"] < 1.25
+    assert 1.25 < data["Best Case"]["speedup"] < 1.75
+    # Survives --fast (paper's validation experiment).
+    for tag in ("Best Case", "VG"):
+        assert data[tag]["speedup_fast"] > 1.1
+
+    rows = [
+        [
+            tag,
+            f"{d['time']:.4f}",
+            f"{d['speedup']:.2f}",
+            f"{PAPER[tag][0]:.2f}",
+            f"{d['time_fast']:.4f}",
+            f"{d['speedup_fast']:.2f}",
+            f"{PAPER[tag][1]:.2f}",
+        ]
+        for tag, d in data.items()
+    ]
+    record(
+        "table9_lulesh_speedup",
+        render_table(
+            ["", "Time(s)", "Speedup", "paper", "Time(s) fast", "Speedup fast", "paper"],
+            rows,
+            title="Table IX — LULESH optimizations, w/ and w/o --fast",
+            aligns=["l", "r", "r", "r", "r", "r", "r"],
+        ),
+    )

@@ -1,0 +1,36 @@
+"""Shared benchmark helpers: result recording and paper-comparison
+rendering.
+
+Every benchmark regenerates one table/figure of the paper (DESIGN.md §4)
+and writes its rendered output under ``benchmarks/results/`` so the
+paper-vs-measured record (EXPERIMENTS.md) can be refreshed from a run.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def record_result(name: str, text: str) -> str:
+    """Saves (and echoes) one experiment's rendered output."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w") as f:
+        f.write(text + "\n")
+    print(f"\n{text}\n[saved to {path}]")
+    return path
+
+
+@pytest.fixture
+def record():
+    return record_result
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """pytest-benchmark wrapper: simulator runs are deterministic, so a
+    single round is both sufficient and honest."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,7 @@
+"""Setup shim: enables legacy editable installs (`pip install -e .`)
+in offline environments where the PEP 660 path needs the `wheel`
+package. Metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

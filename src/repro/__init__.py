@@ -1,0 +1,21 @@
+"""repro — reproduction of "Data Centric Performance Measurement
+Techniques for Chapel Programs" (Zhang & Hollingsworth, 2017).
+
+Public API tour:
+
+* :func:`repro.compile_source` — mini-Chapel source -> IR module;
+* :class:`repro.Profiler` (``repro.tooling``) — the four-step pipeline:
+  static blame analysis, sampled execution, post-mortem processing,
+  presentation;
+* :mod:`repro.views` — flat data-centric / code-centric / hybrid views;
+* :mod:`repro.baselines` — pprof-style and HPCToolkit-style comparators;
+* :mod:`repro.bench` — the paper's three benchmarks (MiniMD, CLOMP,
+  LULESH) plus the experiment harness regenerating each table/figure.
+"""
+
+from .compiler.lower import compile_source, lower_program
+from .tooling.profiler import ProfileResult, Profiler, run_only
+
+__version__ = "1.0.0"
+
+__all__ = ["ProfileResult", "Profiler", "compile_source", "lower_program", "run_only", "__version__"]

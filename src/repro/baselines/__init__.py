@@ -1,0 +1,16 @@
+"""Comparator profilers: the pprof-style code-centric baseline (paper
+Fig. 4) and the HPCToolkit-style data-centric baseline (paper §II.B's
+"unknown data" critique)."""
+
+from .hpctk import HpctkAttributor, HpctkResult, TRACKING_THRESHOLD_BYTES, render_hpctk
+from .pprof import PprofRow, build_pprof_profile, render_pprof
+
+__all__ = [
+    "HpctkAttributor",
+    "HpctkResult",
+    "PprofRow",
+    "TRACKING_THRESHOLD_BYTES",
+    "build_pprof_profile",
+    "render_hpctk",
+    "render_pprof",
+]

@@ -1,0 +1,76 @@
+"""pprof-style code-centric baseline (gperftools) — paper Fig. 4.
+
+Works on *raw* samples with no stack gluing and no runtime-frame
+filtering, exactly like pprof on a Chapel binary: worker samples appear
+under compiler-generated ``coforall_fn_chplNN`` functions, idle threads
+pile up under ``__sched_yield``, and the user can't see which user-level
+loop any of it came from — the confusion the paper's Fig. 4 walks
+through.
+
+Output format mirrors pprof's six columns:
+
+1. samples in this function (flat)
+2. percentage of samples in this function
+3. cumulative percentage of flat samples so far
+4. samples in this function and its callees
+5. percentage of samples in this function and its callees
+6. function name
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sampling.records import RawSample
+
+
+@dataclass
+class PprofRow:
+    function: str
+    flat: int = 0
+    cumulative: int = 0
+
+
+def build_pprof_profile(samples: list[RawSample]) -> list[PprofRow]:
+    """Aggregates raw (unglued) samples per linkage-name function."""
+    rows: dict[str, PprofRow] = {}
+
+    def get(name: str) -> PprofRow:
+        r = rows.get(name)
+        if r is None:
+            r = PprofRow(name)
+            rows[name] = r
+        return r
+
+    for s in samples:
+        leaf = s.stack[0][0] if s.stack else "<unknown>"
+        get(leaf).flat += 1
+        seen: set[str] = set()
+        for func, _iid in s.stack:
+            if func not in seen:
+                seen.add(func)
+                get(func).cumulative += 1
+    out = list(rows.values())
+    out.sort(key=lambda r: (-r.flat, -r.cumulative, r.function))
+    return out
+
+
+def render_pprof(
+    samples: list[RawSample], binary_name: str = "a.out", top: int = 10
+) -> str:
+    profile = build_pprof_profile(samples)
+    total = len(samples) or 1
+    lines = [
+        f"Using local file ./{binary_name}.",
+        "Using local file prof.log.",
+        f"Total: {total} samples",
+    ]
+    running = 0
+    for row in profile[:top]:
+        running += row.flat
+        lines.append(
+            f"{row.flat:>8} {100.0 * row.flat / total:>5.1f}% "
+            f"{100.0 * running / total:>5.1f}% {row.cumulative:>8} "
+            f"{100.0 * row.cumulative / total:>5.1f}% {row.function}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,7 @@
+"""Benchmark programs and the experiment harness that regenerates every
+table and figure of the paper's evaluation (see DESIGN.md §4)."""
+
+from . import harness
+from .programs import clomp, example_fig1, lulesh, minimd
+
+__all__ = ["clomp", "example_fig1", "harness", "lulesh", "minimd"]

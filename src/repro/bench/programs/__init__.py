@@ -1,0 +1,7 @@
+"""The paper's benchmark programs, ported to mini-Chapel: MiniMD,
+CLOMP, LULESH (original + optimized variants), and the Fig. 1 example.
+"""
+
+from . import clomp, example_fig1, lulesh, minimd
+
+__all__ = ["clomp", "example_fig1", "lulesh", "minimd"]

@@ -1,0 +1,293 @@
+"""CLOMP — Livermore OpenMP benchmark (paper §V.B), mini-Chapel port.
+
+Structure per the paper: after initialization, ``main`` calls
+``do_parallel_version``, whose only callee ``parallel_cycle`` invokes
+``parallel_module1..4`` (differing in how many parallel forall sweeps
+each performs); every sweep calls ``update_part`` per part, which loops
+that part's zones updating ``zoneArray[j].value`` plus a per-part
+``residue`` via the local ``remaining_deposit``.  ``calc_deposit`` is
+the small serial portion between sweeps.
+
+Variants:
+
+* **original** — nested dynamic structures: ``partArray`` holds class
+  instances whose ``zoneArray`` field holds the zones (every zone
+  access dereferences two levels — the cost the blame table exposes);
+* **optimized** — Johnson & Hollingsworth's flattening: "use a large 2D
+  array to hold those values"; zone values live in one global 2-D
+  array indexed ``[part, zone]`` (residues stay per-part).  Paper
+  Table V: up to 2.13× w/o --fast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+DEFAULT_CONFIG: dict[str, object] = {
+    "numParts": 16,
+    "zonesPerPart": 40,
+    "timesteps": 2,
+}
+
+_PRELUDE = """
+// CLOMP (mini-Chapel port) -- Livermore OpenMP overhead benchmark
+config const numParts: int = 16;
+config const zonesPerPart: int = 40;
+config const timesteps: int = 2;
+config const flopScale: real = 1.0;
+
+record Zone {
+  var value: real;
+}
+
+class Part {
+  var residue: real;
+  var deposit_ratio: real;
+  var zoneArray: [?] Zone;
+}
+
+var partDomain: domain(1) = {0..numParts-1};
+var partArray: [partDomain] Part;
+"""
+
+_OPT_GLOBALS = """
+// optimized layout: one large 2D array for all zone values
+var zoneValues: [0..numParts-1, 0..zonesPerPart-1] real;
+"""
+
+_INIT_ORIGINAL = """
+proc initParts() {
+  for i in 0..numParts-1 {
+    var zones: [0..zonesPerPart-1] Zone;
+    partArray[i] = new Part(0.0, 0.95 + 0.0001 * i, zones);
+    for j in 0..zonesPerPart-1 {
+      partArray[i].zoneArray[j].value = 0.0;
+    }
+  }
+}
+"""
+
+_INIT_OPTIMIZED = """
+proc initParts() {
+  for i in 0..numParts-1 {
+    var zones: [0..0] Zone;
+    partArray[i] = new Part(0.0, 0.95 + 0.0001 * i, zones);
+    for j in 0..zonesPerPart-1 {
+      zoneValues[i, j] = 0.0;
+    }
+  }
+}
+"""
+
+_UPDATE_ORIGINAL = """
+proc update_part(p: Part, deposit: real) {
+  var remaining_deposit: real = deposit;
+  for j in 0..zonesPerPart-1 {
+    var dep = remaining_deposit * 0.5 * flopScale;
+    var scaled = p.zoneArray[j].value * 0.5 + dep * 0.3;
+    p.zoneArray[j].value = scaled * (1.0 - 0.001 * flopScale) + dep * 0.7;
+    remaining_deposit = remaining_deposit - dep;
+  }
+  p.residue = p.residue + remaining_deposit;
+}
+"""
+
+_UPDATE_OPTIMIZED = """
+proc update_part(p: Part, i: int, deposit: real) {
+  var remaining_deposit: real = deposit;
+  for j in 0..zonesPerPart-1 {
+    var dep = remaining_deposit * 0.5 * flopScale;
+    var scaled = zoneValues[i, j] * 0.5 + dep * 0.3;
+    zoneValues[i, j] = scaled * (1.0 - 0.001 * flopScale) + dep * 0.7;
+    remaining_deposit = remaining_deposit - dep;
+  }
+  p.residue = p.residue + remaining_deposit;
+}
+"""
+
+_MODULES_ORIGINAL = """
+proc calc_deposit(): real {
+  var total = 0.0;
+  for i in 0..numParts-1 {
+    total += partArray[i].residue * 0.001;
+  }
+  return 0.5 + total / (numParts * 1.0);
+}
+
+proc parallel_module1() {
+  var dep = calc_deposit();
+  forall i in partDomain {
+    update_part(partArray[i], dep);
+  }
+}
+
+proc parallel_module2() {
+  var dep = calc_deposit();
+  forall i in partDomain {
+    update_part(partArray[i], dep * 0.5);
+  }
+  dep = calc_deposit();
+  forall i in partDomain {
+    update_part(partArray[i], dep * 0.5);
+  }
+}
+
+proc parallel_module3() {
+  var dep = calc_deposit();
+  forall i in partDomain {
+    update_part(partArray[i], dep / 3.0);
+  }
+  dep = calc_deposit();
+  forall i in partDomain {
+    update_part(partArray[i], dep / 3.0);
+  }
+  dep = calc_deposit();
+  forall i in partDomain {
+    update_part(partArray[i], dep / 3.0);
+  }
+}
+
+proc parallel_module4() {
+  for r in 1..4 {
+    var dep = calc_deposit();
+    forall i in partDomain {
+      update_part(partArray[i], dep * 0.25);
+    }
+  }
+}
+"""
+
+_MODULES_OPTIMIZED = """
+proc calc_deposit(): real {
+  var total = 0.0;
+  for i in 0..numParts-1 {
+    total += partArray[i].residue * 0.001;
+  }
+  return 0.5 + total / (numParts * 1.0);
+}
+
+proc parallel_module1() {
+  var dep = calc_deposit();
+  forall i in partDomain {
+    update_part(partArray[i], i, dep);
+  }
+}
+
+proc parallel_module2() {
+  var dep = calc_deposit();
+  forall i in partDomain {
+    update_part(partArray[i], i, dep * 0.5);
+  }
+  dep = calc_deposit();
+  forall i in partDomain {
+    update_part(partArray[i], i, dep * 0.5);
+  }
+}
+
+proc parallel_module3() {
+  var dep = calc_deposit();
+  forall i in partDomain {
+    update_part(partArray[i], i, dep / 3.0);
+  }
+  dep = calc_deposit();
+  forall i in partDomain {
+    update_part(partArray[i], i, dep / 3.0);
+  }
+  dep = calc_deposit();
+  forall i in partDomain {
+    update_part(partArray[i], i, dep / 3.0);
+  }
+}
+
+proc parallel_module4() {
+  for r in 1..4 {
+    var dep = calc_deposit();
+    forall i in partDomain {
+      update_part(partArray[i], i, dep * 0.25);
+    }
+  }
+}
+"""
+
+_MAIN = """
+proc parallel_cycle() {
+  parallel_module1();
+  parallel_module2();
+  parallel_module3();
+  parallel_module4();
+}
+
+proc do_parallel_version() {
+  for t in 1..timesteps {
+    parallel_cycle();
+  }
+}
+
+proc checksum(): real {
+  var total = 0.0;
+  for i in 0..numParts-1 {
+    total += partArray[i].residue;
+  }
+  return total;
+}
+
+proc main() {
+  initParts();
+  var t0 = getCurrentTime();
+  do_parallel_version();
+  var t1 = getCurrentTime();
+  writeln("residue total", checksum());
+  writeln("elapsed", t1 - t0);
+}
+"""
+
+
+@dataclass(frozen=True)
+class ClompVariant:
+    optimized: bool = False
+
+
+def build_source(variant: ClompVariant | None = None, optimized: bool = False) -> str:
+    if variant is not None:
+        optimized = variant.optimized
+    parts = [_PRELUDE]
+    if optimized:
+        parts.append(_OPT_GLOBALS)
+        parts.append(_INIT_OPTIMIZED)
+        parts.append(_UPDATE_OPTIMIZED)
+        parts.append(_MODULES_OPTIMIZED)
+    else:
+        parts.append(_INIT_ORIGINAL)
+        parts.append(_UPDATE_ORIGINAL)
+        parts.append(_MODULES_ORIGINAL)
+    parts.append(_MAIN)
+    return "\n".join(parts)
+
+
+#: The paper's Table V problem shapes (numParts, zonesPerPart), scaled
+#: down for the interpreter while keeping the contrasts that drive the
+#: paper's pattern: zone-dominated shapes (rows 1 and 3) fit in cache
+#: and see the full flattening win; part-heavy shapes (rows 2 and 4)
+#: overflow the simulated LLC, so both versions stall on memory and the
+#: speedup compresses toward 1.
+TABLE_V_SHAPES: list[tuple[str, int, int]] = [
+    ("1024/64,000", 16, 250),
+    ("65536/10", 2048, 3),
+    ("12/640,000", 4, 1200),
+    ("65536/6400", 512, 40),
+]
+
+
+def config_for(
+    num_parts: int | None = None,
+    zones_per_part: int | None = None,
+    timesteps: int | None = None,
+) -> dict[str, object]:
+    cfg = dict(DEFAULT_CONFIG)
+    if num_parts is not None:
+        cfg["numParts"] = num_parts
+    if zones_per_part is not None:
+        cfg["zonesPerPart"] = zones_per_part
+    if timesteps is not None:
+        cfg["timesteps"] = timesteps
+    return cfg

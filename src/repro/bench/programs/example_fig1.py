@@ -1,0 +1,62 @@
+"""The paper's Fig. 1 five-line example, padded so that the statements
+land on source lines 16–20 exactly as printed in the paper.
+
+Used by the Table I experiment (variable→blame-lines map) and the
+blame-percentage check (a=2 samples, b=1, c=4 of 4 total in the paper's
+walk-through).
+"""
+
+from __future__ import annotations
+
+_BODY_LINES = [
+    "proc main() {",  # line 14
+    "var c: int = 0;",  # line 15 (declared early; written at line 20)
+    "var a: int = 2;",  # line 16
+    "var b: int = 3;",  # line 17
+    "if a < b {",  # line 18
+    "a = b + 1; }",  # line 19
+    "c = a + b;",  # line 20
+    "writeln(c);",
+    "}",
+]
+
+#: Lines 1–13 are comment padding so the example statements land on the
+#: paper's printed line numbers 16–20.
+SOURCE = "\n".join(["// Paper Fig. 1 example (see Table I)"] + ["//"] * 12 + _BODY_LINES) + "\n"
+
+#: Paper Table I (as printed). Note: the paper's own formal definition
+#: (BlameSet = union of backward slices of writes) also places line 17
+#: in a's set — statement 19 ``a = b + 1`` reads b — exactly the
+#: mechanism by which c's set contains 16 and 17. The implementation
+#: follows the formal definition; see EXPERIMENTS.md E1.
+PAPER_TABLE_I = {
+    "a": {16, 18, 19},
+    "b": {17},
+    "c": {16, 17, 18, 19, 20},
+}
+
+#: Table I under the paper's formal definition (what this repo computes).
+FORMAL_TABLE_I = {
+    "a": {16, 17, 18, 19},
+    "b": {17},
+    "c": {16, 17, 18, 19, 20},
+}
+
+#: The four sample line numbers of the paper's walk-through (samples
+#: fall on lines 17, 18, 19, 20).
+PAPER_SAMPLE_LINES = [17, 18, 19, 20]
+
+
+def build_source() -> str:
+    return SOURCE
+
+
+def blamed_fractions(sample_lines: list[int], table: dict[str, set[int]]) -> dict[str, float]:
+    """BlamePercentage for each variable given sample line numbers —
+    the paper's hand computation (a=50 %, b=25 %, c=100 % under its
+    printed table; a=75 % under the formal definition)."""
+    total = len(sample_lines)
+    return {
+        var: sum(1 for s in sample_lines if s in lines) / total
+        for var, lines in table.items()
+    }

@@ -1,0 +1,512 @@
+"""LULESH — shock hydrodynamics proxy app (paper §V.C), mini-Chapel port.
+
+Mirrors the Chapel LULESH call structure the paper profiles: ``main`` →
+``LagrangeLeapFrog`` (≈ all runtime) → ``LagrangeNodal`` →
+``CalcForceForNodes`` → ``CalcVolumeForceForElems`` →
+{``IntegrateStressForElems``, ``CalcHourglassControlForElems`` →
+``CalcFBHourglassForceForElems`` → ``CalcElemFBHourglassForce``}.
+The mesh is simplified to per-element 8-node tuples (``8*real``), which
+keeps exactly the variables of paper Table VI in exactly their
+contexts: ``hgfx/y/z``, ``hourgam``, ``hourmodx/y/z`` in
+CalcFBHourglassForceForElems; ``shx/y/z``, ``hx/y/z`` in
+CalcElemFBHourglassForce; ``determ``/``dvdx`` in the volume-force
+functions; ``b_x/y/z`` in IntegrateStressForElems.
+
+Optimization variants (paper Tables VII–IX):
+
+* **P1/P2/P3** — keep the ``param`` (compiler-unroll) keyword on loop
+  1/2/3 of the Fig. 5 hourglass block; the original has all three.
+* **U2/U3** — manually unroll loop 2/3 in source.
+* **VG** — Variable Globalization: ``determ``/``dvdx/y/z`` move to
+  module scope, eliminating per-call array allocation.
+* **CENN** — CalcElemNodeNormals writes results straight into the
+  passed-in ``b_x/y/z`` instead of building tuple temporaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+DEFAULT_CONFIG: dict[str, object] = {
+    "edgeElems": 4,
+    "maxSteps": 2,
+}
+
+
+@dataclass(frozen=True)
+class LuleshVariant:
+    """Which optimizations/unroll tags are applied.
+
+    The paper's *Original* is ``LuleshVariant()`` (all three ``param``
+    tags present, no VG/CENN); its *Best Case* is P1 + VG + CENN.
+    """
+
+    p1: bool = True
+    p2: bool = True
+    p3: bool = True
+    u2: bool = False
+    u3: bool = False
+    vg: bool = False
+    cenn: bool = False
+
+    @property
+    def tag(self) -> str:
+        if self == LuleshVariant():
+            return "Original"
+        parts = []
+        for name, on in [("P1", self.p1), ("P2", self.p2), ("P3", self.p3)]:
+            if on:
+                parts.append(name)
+        for name, on in [("U2", self.u2), ("U3", self.u3)]:
+            if on:
+                parts.append(name)
+        if self.vg:
+            parts.append("VG")
+        if self.cenn:
+            parts.append("CENN")
+        return "+".join(parts) if parts else "0 params"
+
+
+ORIGINAL = LuleshVariant()
+BEST_CASE = LuleshVariant(p1=True, p2=False, p3=False, vg=True, cenn=True)
+VG_ONLY = LuleshVariant(vg=True)
+CENN_ONLY = LuleshVariant(cenn=True)
+P1_ONLY = LuleshVariant(p1=True, p2=False, p3=False)
+
+#: Paper Table VII's eleven unrolling configurations.
+TABLE_VII_VARIANTS: list[tuple[str, LuleshVariant]] = [
+    ("Original", ORIGINAL),
+    ("0 params", LuleshVariant(p1=False, p2=False, p3=False)),
+    ("P 1", LuleshVariant(p1=True, p2=False, p3=False)),
+    ("P 2", LuleshVariant(p1=False, p2=True, p3=False)),
+    ("P 3", LuleshVariant(p1=False, p2=False, p3=True)),
+    ("P1+P2", LuleshVariant(p1=True, p2=True, p3=False)),
+    ("P1+P3", LuleshVariant(p1=True, p2=False, p3=True)),
+    ("P2+P3", LuleshVariant(p1=False, p2=True, p3=True)),
+    ("P1+U2", LuleshVariant(p1=True, p2=False, p3=False, u2=True)),
+    ("P1+U3", LuleshVariant(p1=True, p2=False, p3=False, u3=True)),
+    ("P1+U2+U3", LuleshVariant(p1=True, p2=False, p3=False, u2=True, u3=True)),
+]
+
+_PRELUDE = """
+// LULESH (mini-Chapel port) -- Livermore unstructured Lagrangian
+// explicit shock hydrodynamics proxy application
+config const edgeElems: int = 4;
+config const maxSteps: int = 2;
+config const hgcoef: real = 3.0;
+config const dt: real = 0.0001;
+
+var numElems = edgeElems * edgeElems * edgeElems;
+var Elems: domain(1) = {0..numElems-1};
+
+var x: [Elems] 8*real;
+var y: [Elems] 8*real;
+var z: [Elems] 8*real;
+var xd: [Elems] 8*real;
+var yd: [Elems] 8*real;
+var zd: [Elems] 8*real;
+var fx: [Elems] 8*real;
+var fy: [Elems] 8*real;
+var fz: [Elems] 8*real;
+var x8n: [Elems] 8*real;
+var y8n: [Elems] 8*real;
+var z8n: [Elems] 8*real;
+var sigxx: [Elems] real;
+var volo: [Elems] real;
+var gammaCoef: [0..3, 0..7] real;
+"""
+
+_VG_GLOBALS = """
+// Variable Globalization: hoisted from CalcVolumeForceForElems /
+// CalcHourglassControlForElems so they are allocated once, not per call
+var determG: [Elems] real;
+var dvdxG: [Elems] 8*real;
+var dvdyG: [Elems] 8*real;
+var dvdzG: [Elems] 8*real;
+"""
+
+_INIT = """
+proc initMesh() {
+  for i in 0..3 {
+    for j in 0..7 {
+      gammaCoef[i, j] = ((i + j) % 2) * 2.0 - 1.0;
+    }
+  }
+  forall e in Elems {
+    for param k in 0..7 {
+      x[e][k] = e * 0.1 + k * 0.01;
+      y[e][k] = e * 0.07 + k * 0.013;
+      z[e][k] = e * 0.05 + k * 0.017;
+      xd[e][k] = 0.001 * (k + 1);
+      yd[e][k] = 0.002 * (k + 1);
+      zd[e][k] = 0.0015 * (k + 1);
+    }
+    volo[e] = 1.0 + 0.001 * e;
+    sigxx[e] = 0.0 - 0.5 - 0.0001 * e;
+  }
+}
+"""
+
+_CENN_ORIGINAL = """
+proc CalcElemNodeNormals(ref b_x: 8*real, ref b_y: 8*real, ref b_z: 8*real, e: int) {
+  // original: partial results flow through tuple temporaries built and
+  // torn down per face (6 faces per element)
+  proc faceNormal(ex: 8*real, ey: 8*real, ez: 8*real, i0: int, i1: int, i2: int, i3: int): 3*real {
+    var bisect0 = (ex[i2] - ex[i0], ey[i2] - ey[i0], ez[i2] - ez[i0]);
+    var bisect1 = (ex[i3] - ex[i1], ey[i3] - ey[i1], ez[i3] - ez[i1]);
+    var area = (bisect0[1] * bisect1[2] - bisect0[2] * bisect1[1],
+                bisect0[2] * bisect1[0] - bisect0[0] * bisect1[2],
+                bisect0[0] * bisect1[1] - bisect0[1] * bisect1[0]);
+    return area * 0.25;
+  }
+  for param k in 0..7 {
+    b_x[k] = 0.0;
+    b_y[k] = 0.0;
+    b_z[k] = 0.0;
+  }
+  var ex = x[e];
+  var ey = y[e];
+  var ez = z[e];
+  for f in 0..5 {
+    var i0 = f % 8;
+    var i1 = (f + 1) % 8;
+    var i2 = (f + 2) % 8;
+    var i3 = (f + 3) % 8;
+    var n = faceNormal(ex, ey, ez, i0, i1, i2, i3);
+    // partial results are spread to the four face corners through
+    // 4-tuple temporaries added with tuple arithmetic (the
+    // construction/destruction churn CENN removes)
+    var px = (n[0], n[0], n[0], n[0]);
+    var py = (n[1], n[1], n[1], n[1]);
+    var pz = (n[2], n[2], n[2], n[2]);
+    var curx = (b_x[i0], b_x[i1], b_x[i2], b_x[i3]);
+    var cury = (b_y[i0], b_y[i1], b_y[i2], b_y[i3]);
+    var curz = (b_z[i0], b_z[i1], b_z[i2], b_z[i3]);
+    var sumx = curx + px;
+    var sumy = cury + py;
+    var sumz = curz + pz;
+    b_x[i0] = sumx[0];
+    b_x[i1] = sumx[1];
+    b_x[i2] = sumx[2];
+    b_x[i3] = sumx[3];
+    b_y[i0] = sumy[0];
+    b_y[i1] = sumy[1];
+    b_y[i2] = sumy[2];
+    b_y[i3] = sumy[3];
+    b_z[i0] = sumz[0];
+    b_z[i1] = sumz[1];
+    b_z[i2] = sumz[2];
+    b_z[i3] = sumz[3];
+  }
+}
+"""
+
+_CENN_OPTIMIZED = """
+proc CalcElemNodeNormals(ref b_x: 8*real, ref b_y: 8*real, ref b_z: 8*real, e: int) {
+  // CENN optimization: intermediate results assigned directly to the
+  // passed-in tuples -- no tuple temporaries, no tuple adds
+  proc faceNormalDirect(ref b_x: 8*real, ref b_y: 8*real, ref b_z: 8*real,
+                        ex: 8*real, ey: 8*real, ez: 8*real,
+                        i0: int, i1: int, i2: int, i3: int) {
+    var b0x = ex[i2] - ex[i0];
+    var b0y = ey[i2] - ey[i0];
+    var b0z = ez[i2] - ez[i0];
+    var b1x = ex[i3] - ex[i1];
+    var b1y = ey[i3] - ey[i1];
+    var b1z = ez[i3] - ez[i1];
+    var ax = (b0y * b1z - b0z * b1y) * 0.25;
+    var ay = (b0z * b1x - b0x * b1z) * 0.25;
+    var az = (b0x * b1y - b0y * b1x) * 0.25;
+    b_x[i0] += ax;
+    b_x[i1] += ax;
+    b_x[i2] += ax;
+    b_x[i3] += ax;
+    b_y[i0] += ay;
+    b_y[i1] += ay;
+    b_y[i2] += ay;
+    b_y[i3] += ay;
+    b_z[i0] += az;
+    b_z[i1] += az;
+    b_z[i2] += az;
+    b_z[i3] += az;
+  }
+  for param k in 0..7 {
+    b_x[k] = 0.0;
+    b_y[k] = 0.0;
+    b_z[k] = 0.0;
+  }
+  var ex = x[e];
+  var ey = y[e];
+  var ez = z[e];
+  for f in 0..5 {
+    var i0 = f % 8;
+    var i1 = (f + 1) % 8;
+    var i2 = (f + 2) % 8;
+    var i3 = (f + 3) % 8;
+    faceNormalDirect(b_x, b_y, b_z, ex, ey, ez, i0, i1, i2, i3);
+  }
+}
+"""
+
+_INTEGRATE_STRESS = """
+proc IntegrateStressForElems(determ: [?] real) {
+  forall e in Elems {
+    var b_x: 8*real;
+    var b_y: 8*real;
+    var b_z: 8*real;
+    CalcElemNodeNormals(b_x, b_y, b_z, e);
+    var stress = sigxx[e];
+    for param k in 0..7 {
+      fx[e][k] = fx[e][k] - stress * b_x[k];
+      fy[e][k] = fy[e][k] - stress * b_y[k];
+      fz[e][k] = fz[e][k] - stress * b_z[k];
+    }
+    determ[e] = volo[e] * (1.0 + 0.001 * CalcElemVolume(e));
+  }
+}
+"""
+
+_ELEM_VOLUME = """
+proc CalcElemVolume(e: int): real {
+  // jacobian-determinant style volume from the corner coordinates
+  var ex = x[e];
+  var ey = y[e];
+  var ez = z[e];
+  var v = 0.0;
+  for param c in 0..3 {
+    var dx20 = ex[(c + 2) % 8] - ex[c];
+    var dy20 = ey[(c + 2) % 8] - ey[c];
+    var dz20 = ez[(c + 2) % 8] - ez[c];
+    var dx40 = ex[(c + 4) % 8] - ex[c];
+    var dy40 = ey[(c + 4) % 8] - ey[c];
+    var dz40 = ez[(c + 4) % 8] - ez[c];
+    var dx10 = ex[(c + 1) % 8] - ex[c];
+    var dy10 = ey[(c + 1) % 8] - ey[c];
+    var dz10 = ez[(c + 1) % 8] - ez[c];
+    v += dx10 * (dy20 * dz40 - dy40 * dz20)
+       + dy10 * (dz20 * dx40 - dz40 * dx20)
+       + dz10 * (dx20 * dy40 - dx40 * dy20);
+  }
+  return v / 12.0;
+}
+"""
+
+_ELEM_FB = """
+proc CalcElemFBHourglassForce(hourgam: 8*(4*real), e: int, coefh: real,
+                              ref hgfx: 8*real, ref hgfy: 8*real, ref hgfz: 8*real) {
+  var hx: 4*real;
+  var hy: 4*real;
+  var hz: 4*real;
+  for i in 0..3 {
+    hx[i] = 0.0;
+    hy[i] = 0.0;
+    hz[i] = 0.0;
+    for k in 0..7 {
+      hx[i] += hourgam[k][i] * xd[e][k];
+      hy[i] += hourgam[k][i] * yd[e][k];
+      hz[i] += hourgam[k][i] * zd[e][k];
+    }
+  }
+  for k in 0..7 {
+    var shx = coefh * (hourgam[k][0] * hx[0] + hourgam[k][1] * hx[1] + hourgam[k][2] * hx[2] + hourgam[k][3] * hx[3]);
+    var shy = coefh * (hourgam[k][0] * hy[0] + hourgam[k][1] * hy[1] + hourgam[k][2] * hy[2] + hourgam[k][3] * hy[3]);
+    var shz = coefh * (hourgam[k][0] * hz[0] + hourgam[k][1] * hz[1] + hourgam[k][2] * hz[2] + hourgam[k][3] * hz[3]);
+    hgfx[k] = shx;
+    hgfy[k] = shy;
+    hgfz[k] = shz;
+  }
+}
+"""
+
+# The Fig. 5 hourglass block. Loop 1 runs i in 0..3, loops 2 and 3 run
+# j in 0..7; each may carry the `param` keyword (P tags) or be manually
+# unrolled in source (U tags).
+_LOOP2_BODY = """      hourmodx += x8n[e][{j}] * gammaCoef[i, {j}];
+      hourmody += y8n[e][{j}] * gammaCoef[i, {j}];
+      hourmodz += z8n[e][{j}] * gammaCoef[i, {j}];
+"""
+
+_LOOP3_BODY = """      hourgam[{j}][i] = gammaCoef[i, {j}] - volinv * (dvdx[e][{j}] * hourmodx + dvdy[e][{j}] * hourmody + dvdz[e][{j}] * hourmodz);
+"""
+
+
+def _render_inner_loop(body_tpl: str, param: bool, unroll: bool) -> str:
+    if unroll:
+        return "".join(body_tpl.format(j=j) for j in range(8))
+    kw = "param " if param else ""
+    body = body_tpl.format(j="j")
+    return f"    for {kw}j in 0..7 {{\n{body}    }}\n"
+
+
+def _render_hourglass_block(v: "LuleshVariant") -> str:
+    kw1 = "param " if v.p1 else ""
+    loop2 = _render_inner_loop(_LOOP2_BODY, v.p2, v.u2)
+    loop3 = _render_inner_loop(_LOOP3_BODY, v.p3, v.u3)
+    return (
+        f"  for {kw1}i in 0..3 {{\n"
+        "    var hourmodx: real = 0.0;\n"
+        "    var hourmody: real = 0.0;\n"
+        "    var hourmodz: real = 0.0;\n"
+        f"{loop2}"
+        f"{loop3}"
+        "  }\n"
+    )
+
+
+def _fb_hourglass(v: "LuleshVariant") -> str:
+    block = _render_hourglass_block(v)
+    # The block sits inside the forall over elements; indent it.
+    indented = "\n".join(
+        ("  " + line if line.strip() else line) for line in block.splitlines()
+    )
+    return f"""
+proc CalcFBHourglassForceForElems(determ: [?] real, dvdx: [?] 8*real, dvdy: [?] 8*real, dvdz: [?] 8*real) {{
+  forall e in Elems {{
+    var hourgam: 8*(4*real);
+    var volinv = 1.0 / determ[e];
+{indented}
+    var ss = sigxx[e];
+    var coefh = hgcoef * 0.01 * ss * volinv;
+    var hgfx: 8*real;
+    var hgfy: 8*real;
+    var hgfz: 8*real;
+    CalcElemFBHourglassForce(hourgam, e, coefh, hgfx, hgfy, hgfz);
+    for param k in 0..7 {{
+      fx[e][k] = fx[e][k] + hgfx[k];
+      fy[e][k] = fy[e][k] + hgfy[k];
+      fz[e][k] = fz[e][k] + hgfz[k];
+    }}
+  }}
+}}
+"""
+
+
+def _hourglass_control(vg: bool) -> str:
+    if vg:
+        decls = "  // VG: dvdx/y/z are module globals (no per-call allocation)"
+        names = ("dvdxG", "dvdyG", "dvdzG")
+    else:
+        decls = (
+            "  var dvdx: [Elems] 8*real;\n"
+            "  var dvdy: [Elems] 8*real;\n"
+            "  var dvdz: [Elems] 8*real;"
+        )
+        names = ("dvdx", "dvdy", "dvdz")
+    nx, ny, nz = names
+    return f"""
+proc CalcHourglassControlForElems(determ: [?] real) {{
+{decls}
+  forall e in Elems {{
+    for param k in 0..7 {{
+      // VoluDer-style cross-dimension volume derivatives
+      {nx}[e][k] = (y[e][(k + 1) % 8] * z[e][(k + 2) % 8] - y[e][(k + 2) % 8] * z[e][(k + 1) % 8]
+                   + y[e][(k + 3) % 8] * z[e][(k + 4) % 8] - y[e][(k + 4) % 8] * z[e][(k + 3) % 8]) / 12.0;
+      {ny}[e][k] = (z[e][(k + 1) % 8] * x[e][(k + 2) % 8] - z[e][(k + 2) % 8] * x[e][(k + 1) % 8]
+                   + z[e][(k + 3) % 8] * x[e][(k + 4) % 8] - z[e][(k + 4) % 8] * x[e][(k + 3) % 8]) / 12.0;
+      {nz}[e][k] = (x[e][(k + 1) % 8] * y[e][(k + 2) % 8] - x[e][(k + 2) % 8] * y[e][(k + 1) % 8]
+                   + x[e][(k + 3) % 8] * y[e][(k + 4) % 8] - x[e][(k + 4) % 8] * y[e][(k + 3) % 8]) / 12.0;
+      x8n[e][k] = x[e][k];
+      y8n[e][k] = y[e][k];
+      z8n[e][k] = z[e][k];
+    }}
+    determ[e] = determ[e] * (1.0 + 0.00001 * e);
+  }}
+  CalcFBHourglassForceForElems(determ, {nx}, {ny}, {nz});
+}}
+"""
+
+
+def _volume_force(vg: bool) -> str:
+    if vg:
+        return """
+proc CalcVolumeForceForElems() {
+  // VG: determ is a module global (no per-call allocation)
+  IntegrateStressForElems(determG);
+  CalcHourglassControlForElems(determG);
+}
+"""
+    return """
+proc CalcVolumeForceForElems() {
+  var determ: [Elems] real;
+  IntegrateStressForElems(determ);
+  CalcHourglassControlForElems(determ);
+}
+"""
+
+
+_TAIL = """
+proc CalcForceForNodes() {
+  forall e in Elems {
+    for param k in 0..7 {
+      fx[e][k] = 0.0;
+      fy[e][k] = 0.0;
+      fz[e][k] = 0.0;
+    }
+  }
+  CalcVolumeForceForElems();
+}
+
+proc LagrangeNodal() {
+  CalcForceForNodes();
+  forall e in Elems {
+    for param k in 0..7 {
+      xd[e][k] = xd[e][k] + fx[e][k] * dt;
+      yd[e][k] = yd[e][k] + fy[e][k] * dt;
+      zd[e][k] = zd[e][k] + fz[e][k] * dt;
+      x[e][k] = x[e][k] + xd[e][k] * dt;
+      y[e][k] = y[e][k] + yd[e][k] * dt;
+      z[e][k] = z[e][k] + zd[e][k] * dt;
+    }
+  }
+}
+
+proc LagrangeElements() {
+  forall e in Elems {
+    volo[e] = volo[e] * (1.0 + 0.000001 * e);
+  }
+}
+
+proc LagrangeLeapFrog() {
+  LagrangeNodal();
+  LagrangeElements();
+}
+
+proc main() {
+  initMesh();
+  var t0 = getCurrentTime();
+  for step in 1..maxSteps {
+    LagrangeLeapFrog();
+  }
+  var t1 = getCurrentTime();
+  writeln("checksum", fx[0][0] + x[0][0] + volo[numElems - 1]);
+  writeln("elapsed", t1 - t0);
+}
+"""
+
+
+def build_source(variant: LuleshVariant | None = None) -> str:
+    v = variant or ORIGINAL
+    parts = [_PRELUDE]
+    if v.vg:
+        parts.append(_VG_GLOBALS)
+    parts.append(_INIT)
+    parts.append(_CENN_OPTIMIZED if v.cenn else _CENN_ORIGINAL)
+    parts.append(_ELEM_VOLUME)
+    parts.append(_INTEGRATE_STRESS)
+    parts.append(_ELEM_FB)
+    parts.append(_fb_hourglass(v))
+    parts.append(_hourglass_control(v.vg))
+    parts.append(_volume_force(v.vg))
+    parts.append(_TAIL)
+    return "\n".join(parts)
+
+
+def config_for(
+    edge_elems: int | None = None, max_steps: int | None = None
+) -> dict[str, object]:
+    cfg = dict(DEFAULT_CONFIG)
+    if edge_elems is not None:
+        cfg["edgeElems"] = edge_elems
+    if max_steps is not None:
+        cfg["maxSteps"] = max_steps
+    return cfg

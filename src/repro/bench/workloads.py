@@ -1,0 +1,191 @@
+"""Synthetic workload generators.
+
+Parameterized mini-Chapel program families used by the extension
+benches and stress tests.  Each generator returns (source, config,
+expectations) where the expectations name the variables a correct
+blame profile must surface — so a workload can be used both as a
+benchmark input and as an oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One generated program with its blame oracle."""
+
+    name: str
+    source: str
+    config: dict[str, object] = field(default_factory=dict)
+    #: Variables that must rank in the top tier of the blame profile.
+    hot_variables: tuple[str, ...] = ()
+    #: Variables that must stay below ~20 % blame.
+    cold_variables: tuple[str, ...] = ()
+
+
+def stencil(n: int = 16, iters: int = 4) -> Workload:
+    """2-D Jacobi stencil: two grids, slices as boundary views."""
+    source = """
+config const n: int = 16;
+config const iters: int = 4;
+var D: domain(2) = {0..n+1, 0..n+1};
+var Inner: domain(2) = {1..n, 1..n};
+var Grid: [D] real;
+var Next: [D] real;
+var Residual: [0..iters] real;
+
+proc sweep(it: int) {
+  forall (i, j) in Inner {
+    Next[i, j] = (Grid[i-1, j] + Grid[i+1, j] + Grid[i, j-1] + Grid[i, j+1]) * 0.25;
+  }
+  var r = 0.0;
+  forall (i, j) in Inner {
+    var d = Next[i, j] - Grid[i, j];
+    Grid[i, j] = Next[i, j];
+    r += d * d;
+  }
+  Residual[it] = r;
+}
+
+proc main() {
+  forall (i, j) in D {
+    Grid[i, j] = if i == 0 then 1.0 else 0.0;
+  }
+  for it in 1..iters { sweep(it); }
+  writeln("residual", Residual[iters]);
+}
+"""
+    return Workload(
+        name="stencil",
+        source=source,
+        config={"n": n, "iters": iters},
+        hot_variables=("Next", "Grid"),
+        cold_variables=("Residual",),
+    )
+
+
+def md_pairs(atoms: int = 48, steps: int = 3) -> Workload:
+    """MiniMD-like pairwise force kernel over tuple positions."""
+    source = """
+config const atoms: int = 48;
+config const steps: int = 3;
+var pos: [0..atoms-1] 3*real;
+var frc: [0..atoms-1] 3*real;
+var vel: [0..atoms-1] 3*real;
+
+proc main() {
+  forall i in 0..atoms-1 {
+    pos[i] = (i * 0.3, i * 0.2, i * 0.1);
+  }
+  for s in 1..steps {
+    forall i in 0..atoms-1 {
+      var f = (0.0, 0.0, 0.0);
+      for j in 0..atoms-1 {
+        var d = pos[i] - pos[j];
+        var r2 = d[0]*d[0] + d[1]*d[1] + d[2]*d[2] + 1.0;
+        f = f + d * (1.0 / r2);
+      }
+      frc[i] = f;
+    }
+    forall i in 0..atoms-1 {
+      vel[i] = vel[i] + frc[i] * 0.01;
+      pos[i] = pos[i] + vel[i] * 0.01;
+    }
+  }
+  writeln("p0", pos[0][0]);
+}
+"""
+    # pos is mostly *read* in the dominant force loop (reads don't
+    # blame), so only frc is guaranteed hot; pos earns its share from
+    # the integrate phase.
+    return Workload(
+        name="md_pairs",
+        source=source,
+        config={"atoms": atoms, "steps": steps},
+        hot_variables=("frc",),
+        cold_variables=(),
+    )
+
+
+def nested_structures(rows: int = 24, cols: int = 24) -> Workload:
+    """CLOMP-like class/record nest — the hpctk baseline's worst case."""
+    source = """
+record Cell { var v: real; }
+class Row { var total: real; var cells: [?] Cell; }
+config const rows: int = 24;
+config const cols: int = 24;
+var table: [0..rows-1] Row;
+
+proc touch(r: Row) {
+  var carry = 1.0;
+  for j in 0..cols-1 {
+    r.cells[j].v = r.cells[j].v * 0.5 + carry;
+    carry = carry * 0.95;
+  }
+  r.total += carry;
+}
+
+proc main() {
+  for i in 0..rows-1 {
+    var cs: [0..cols-1] Cell;
+    table[i] = new Row(0.0, cs);
+  }
+  for t in 1..4 {
+    forall i in 0..rows-1 { touch(table[i]); }
+  }
+  writeln("t0", table[0].total);
+}
+"""
+    return Workload(
+        name="nested_structures",
+        source=source,
+        config={"rows": rows, "cols": cols},
+        hot_variables=("table", "->table[i].cells[j].v"),
+        cold_variables=("->table[i].total",),
+    )
+
+
+def reduction_heavy(n: int = 400) -> Workload:
+    """Reduction-dominated kernel (the paper's future-work features)."""
+    source = """
+config const n: int = 400;
+var data1: [0..n-1] real;
+var partial: [0..3] real;
+
+iter strided(lo: int, hi: int, s: int): int {
+  var i = lo;
+  while i <= hi {
+    yield i;
+    i += s;
+  }
+}
+
+proc main() {
+  forall i in 0..n-1 { data1[i] = sin(i * 0.01) + 1.5; }
+  for lane in 0..3 {
+    var acc = 0.0;
+    for i in strided(lane, n - 1, 4) {
+      acc += data1[i];
+    }
+    partial[lane] = acc;
+  }
+  writeln("sum", + reduce partial);
+}
+"""
+    return Workload(
+        name="reduction_heavy",
+        source=source,
+        config={"n": n},
+        hot_variables=("data1",),
+        cold_variables=(),
+    )
+
+
+ALL_WORKLOADS = {
+    "stencil": stencil,
+    "md_pairs": md_pairs,
+    "nested_structures": nested_structures,
+    "reduction_heavy": reduction_heavy,
+}

@@ -1,0 +1,60 @@
+"""Cross-locale aggregation (paper step 4 / future-work hook).
+
+The paper runs single-locale experiments but describes step 3 as
+"embarrassingly parallel for multi-locale cases" with a final
+aggregation across nodes.  This module implements that merge so the
+pipeline is plural-ready: per-locale :class:`BlameReport`s combine by
+summing per-(context, variable) sample counts against the summed
+denominator.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from .report import BlameReport, BlameRow, RunStats
+
+
+def merge_reports(reports: list[BlameReport], program: str | None = None) -> BlameReport:
+    """Merges per-locale reports into a whole-program report."""
+    if not reports:
+        raise ValueError("no reports to merge")
+    if len(reports) == 1:
+        return reports[0]
+
+    samples: dict[tuple[str, str], int] = defaultdict(int)
+    meta: dict[tuple[str, str], BlameRow] = {}
+    total_user = 0
+    stats = RunStats()
+    for rep in reports:
+        total_user += rep.stats.user_samples
+        stats.total_raw_samples += rep.stats.total_raw_samples
+        stats.user_samples += rep.stats.user_samples
+        stats.runtime_samples += rep.stats.runtime_samples
+        stats.wall_seconds = max(stats.wall_seconds, rep.stats.wall_seconds)
+        stats.dataset_bytes += rep.stats.dataset_bytes
+        stats.stackwalk_cycles += rep.stats.stackwalk_cycles
+        stats.postmortem_seconds += rep.stats.postmortem_seconds
+        for row in rep.rows:
+            key = (row.context, row.name)
+            samples[key] += row.samples
+            meta.setdefault(key, row)
+
+    rows = [
+        BlameRow(
+            name=meta[key].name,
+            type_str=meta[key].type_str,
+            blame=(n / total_user if total_user else 0.0),
+            context=meta[key].context,
+            samples=n,
+            is_path=meta[key].is_path,
+        )
+        for key, n in samples.items()
+    ]
+    rows.sort(key=lambda r: (-r.samples, r.context, r.name))
+    return BlameReport(
+        program=program or reports[0].program,
+        rows=rows,
+        stats=stats,
+        locale_id=-1,
+    )

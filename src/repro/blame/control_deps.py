@@ -1,0 +1,64 @@
+"""Implicit blame edges: control dependence at instruction granularity.
+
+Paper §IV.A: "For implicit relationships, we use the control flow graph
+and generated dominator tree to infer implicit relationships for each
+basic block.  All variables within control dependent basic blocks have a
+relationship to the implicit variables responsible for the control flow."
+
+Concretely: every instruction depends on the terminators (``cbr``) of
+the blocks its block is control-dependent on — which is why, in the
+paper's Fig. 1 example, line 18 (``if a<b``) lands in the blame lines of
+``a`` (line 19's write is control-dependent on it).
+"""
+
+from __future__ import annotations
+
+from ..ir import instructions as I
+from ..ir.cfg import CFG
+from ..ir.dominators import control_dependence
+from ..ir.module import Function
+
+
+def instruction_control_deps(
+    function: Function, transitive: bool = True
+) -> dict[int, list[I.Instruction]]:
+    """Maps each instruction iid to the branch instructions controlling
+    its execution.  With ``transitive=True`` (default, used by the
+    backward slicer) the control-dependence closure of the block is
+    taken — every level of a loop nest controls the innermost body.
+    With ``transitive=False`` only the immediate controllers are
+    returned (used by the implicit *iterable* blame, where only the
+    innermost loop's domain/array takes the body's samples).
+    """
+    cfg = CFG(function)
+    block_deps = control_dependence(cfg)
+
+    # Transitive closure over blocks (loop nests chain dependences).
+    # Iterative fixpoint: correct in the presence of dependence cycles
+    # (loops are control-dependent on themselves).
+    closure: dict[object, set[object]] = {
+        b: set(block_deps.get(b, ())) for b in function.blocks
+    }
+    if transitive:
+        changed = True
+        while changed:
+            changed = False
+            for b in function.blocks:
+                current = closure[b]
+                add: set[object] = set()
+                for dep in current:
+                    add |= closure.get(dep, set())
+                if not add <= current:
+                    current |= add
+                    changed = True
+
+    result: dict[int, list[I.Instruction]] = {}
+    for block in function.blocks:
+        controllers: list[I.Instruction] = []
+        for dep_block in closure[block]:
+            term = dep_block.terminator
+            if isinstance(term, I.CBr):
+                controllers.append(term)
+        for instr in block.instructions:
+            result[instr.iid] = controllers
+    return result

@@ -1,0 +1,51 @@
+"""Exit-variable identification (paper §IV.A).
+
+"We define an exit variable as having scope outside of the function.
+This includes incoming parameters that are pointers, global variables
+used by the function, and return values."
+
+Here: ``ref`` formals, globals the function writes (directly or via
+descriptor ops), and the return-value pseudo-variable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..ir.module import Function
+from .dataflow import RET_KEY, DataFlow, VarKey, is_pointer_like
+
+
+@dataclass(frozen=True)
+class ExitVars:
+    """Exit variables of one function."""
+
+    ref_formals: frozenset[VarKey]
+    globals_written: frozenset[VarKey]
+    has_return: bool
+
+    def is_exit(self, key: VarKey) -> bool:
+        if key.kind == "global":
+            return True
+        if key == RET_KEY:
+            return self.has_return
+        return key in self.ref_formals
+
+
+def compute_exit_vars(function: Function, dataflow: DataFlow) -> ExitVars:
+    """ref formals plus pointer-like "in" formals (arrays/classes/
+    domains have reference semantics), written globals, return value."""
+    ref_formals = frozenset(
+        VarKey("formal", p.name)
+        for p in function.params
+        if p.intent == "ref" or is_pointer_like(p.type)
+    )
+    globals_written = frozenset(
+        key for key in dataflow.writes if key.kind == "global"
+    )
+    has_return = RET_KEY in dataflow.writes
+    return ExitVars(
+        ref_formals=ref_formals,
+        globals_written=globals_written,
+        has_return=has_return,
+    )

@@ -1,0 +1,63 @@
+"""Ablation switches for the blame analysis.
+
+The paper's technique composes several mechanisms; DESIGN.md calls for
+ablation benches showing what each one buys.  Every switch defaults to
+the full technique; turning one off reproduces a strictly weaker tool:
+
+* ``implicit_control`` — control-dependence edges in slices (paper
+  §IV.A's implicit transfer; off → Table I's line 18 vanishes from a/c);
+* ``implicit_iterable`` — loop bodies blaming the driving domain/array
+  (off → MiniMD's binSpace drops to ~0);
+* ``alias_tracking`` — slice/reindex alias propagation (off → writes
+  through RealPos no longer blame Pos);
+* ``descriptor_writes`` — slice/expand/iterator bookkeeping as writes
+  (off → Count/binSpace lose their "written at the llvm level" blame);
+* ``hierarchical_paths`` — the ``->field`` sub-variable rows (off →
+  CLOMP's Table IV collapses to whole-variable rows);
+* ``stack_gluing`` — pre/post-spawn stack consolidation (off → worker
+  samples dead-end in outlined frames, as in the pprof baseline);
+* ``interprocedural`` — exit-variable bubbling via transfer functions
+  (off → blame stays in the leaf frame; LULESH's b_x loses its
+  IntegrateStressForElems attribution).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class BlameOptions:
+    """Feature switches for the blame pipeline (all on = the paper)."""
+
+    implicit_control: bool = True
+    implicit_iterable: bool = True
+    alias_tracking: bool = True
+    descriptor_writes: bool = True
+    hierarchical_paths: bool = True
+    stack_gluing: bool = True
+    interprocedural: bool = True
+
+    def without(self, **flags: bool) -> "BlameOptions":
+        """Convenience: ``FULL.without(alias_tracking=False)``."""
+        return replace(self, **flags)
+
+
+FULL = BlameOptions()
+
+#: The named ablations the benches sweep.
+ABLATIONS: dict[str, BlameOptions] = {
+    "full": FULL,
+    "no-implicit-control": FULL.without(implicit_control=False),
+    "no-implicit-iterable": FULL.without(implicit_iterable=False),
+    "no-alias-tracking": FULL.without(alias_tracking=False),
+    "no-descriptor-writes": FULL.without(descriptor_writes=False),
+    "no-hierarchy": FULL.without(hierarchical_paths=False),
+    "no-stack-gluing": FULL.without(stack_gluing=False),
+    "no-interprocedural": FULL.without(interprocedural=False),
+    # Both sources of "no source-level write" blame off at once — the
+    # mechanism pair behind MiniMD's binSpace/Count rows.
+    "no-descriptor-no-iterable": FULL.without(
+        descriptor_writes=False, implicit_iterable=False
+    ),
+}

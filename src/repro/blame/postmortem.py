@@ -1,0 +1,108 @@
+"""Post-mortem sample processing (paper §IV.C, steps one and two).
+
+Converts raw monitor samples into consolidated "instances": resolves
+addresses to source context, glues worker-task post-spawn stacks to the
+recorded pre-spawn stacks via the spawn tag, and trims synthetic runtime
+frames — producing "a complete, clean call path of the application w/o
+libraries for each sample".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ir.module import Module
+from ..sampling.records import RawSample
+from ..sampling.stackwalk import StackResolver
+
+
+@dataclass(frozen=True)
+class Instance:
+    """One consolidated sample: the paper's per-sample abstraction
+    holding "module name, file name, line number and stack order
+    number" for every frame."""
+
+    index: int
+    thread_id: int
+    #: Leaf-first (function linkage name, iid); spans worker → spawn
+    #: site → ... → main after gluing.
+    frames: tuple[tuple[str, int], ...]
+    #: Resolved (file, line) per frame.
+    locations: tuple[tuple[str, int], ...]
+    was_glued: bool
+    spawn_tag: int | None
+
+
+@dataclass
+class PostmortemResult:
+    """Outcome of post-mortem processing."""
+
+    instances: list[Instance]
+    #: Idle / pure-runtime samples (kept for the code-centric view).
+    runtime_samples: list[RawSample]
+    n_raw: int
+
+    @property
+    def n_user(self) -> int:
+        return len(self.instances)
+
+
+def _is_user_frame(module: Module, func: str) -> bool:
+    # Synthetic runtime frames (__sched_yield) have no module function.
+    # Module init counts as user context: Chapel module-level variable
+    # initialization (MiniMD's Pos/Bins) runs there and its samples must
+    # be attributable.
+    return module.get_function(func) is not None
+
+
+def process_samples(
+    module: Module, samples: list[RawSample], options: object | None = None
+) -> PostmortemResult:
+    """Runs stack consolidation over a raw sample stream."""
+    from .options import FULL
+
+    options = options or FULL
+    resolver = StackResolver(module)
+    instances: list[Instance] = []
+    runtime: list[RawSample] = []
+
+    for s in samples:
+        if s.is_idle:
+            runtime.append(s)
+            continue
+        frames = list(s.stack)
+        glued = False
+        if options.stack_gluing and s.spawn_tag is not None and s.pre_spawn_stack:
+            # Glue post-spawn to pre-spawn. The pre-spawn leaf is the
+            # SpawnJoin site in the spawning function — it plays the
+            # role of the call site for the outlined frame.
+            frames = frames + list(s.pre_spawn_stack)
+            glued = True
+
+        # Trim synthetic/artificial frames that carry no user context
+        # (e.g. a sample landing in module init keeps that frame only if
+        # nothing else remains).
+        user_frames = [f for f in frames if _is_user_frame(module, f[0])]
+        if not user_frames:
+            # Paper: "when encountering samples of which the post-spawn
+            # stack trace has no stack frames from the user code, we
+            # trace back to its pre-spawn stack" — already glued above;
+            # whatever still has no user frame is runtime-only.
+            runtime.append(s)
+            continue
+
+        resolved = resolver.resolve_stack(tuple(user_frames))
+        instances.append(
+            Instance(
+                index=s.index,
+                thread_id=s.thread_id,
+                frames=tuple(user_frames),
+                locations=tuple((r.filename, r.line) for r in resolved),
+                was_glued=glued,
+                spawn_tag=s.spawn_tag,
+            )
+        )
+
+    return PostmortemResult(
+        instances=instances, runtime_samples=runtime, n_raw=len(samples)
+    )

@@ -1,0 +1,115 @@
+"""Blame report structures — what the presentation layer consumes.
+
+A :class:`BlameReport` is the paper's final per-run artifact: ranked
+variable rows (name, type, blame percentage, context — the columns of
+Tables II/IV/VI), plus run statistics for the overhead discussion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..chapel.types import ArrayType, RecordType, TupleType, Type
+from .attribution import AttributionResult, VariableBlame
+from .dataflow import Path
+
+
+def path_type(root_type: Type | None, path: Path) -> Type | None:
+    """Static type at the end of a field path (Table IV's Type column
+    for ``->`` rows)."""
+    t = root_type
+    for elem in path:
+        if t is None:
+            return None
+        if elem[0] == "index":
+            if isinstance(t, ArrayType):
+                t = t.elem
+            elif isinstance(t, TupleType):
+                t = t.elems[0] if t.elems else None
+            else:
+                return None
+        else:  # field / cfield
+            if isinstance(t, RecordType):
+                t = t.field_type(elem[1])
+            else:
+                return None
+    return t
+
+
+@dataclass(frozen=True)
+class BlameRow:
+    """One display row of the data-centric view."""
+
+    name: str
+    type_str: str
+    blame: float  # fraction of user samples
+    context: str
+    samples: int
+    is_path: bool
+
+    @property
+    def percent(self) -> float:
+        return 100.0 * self.blame
+
+
+@dataclass
+class RunStats:
+    """Run-level statistics for the report header / overhead bench."""
+
+    total_raw_samples: int = 0
+    user_samples: int = 0
+    runtime_samples: int = 0
+    wall_seconds: float = 0.0
+    dataset_bytes: int = 0
+    stackwalk_cycles: float = 0.0
+    postmortem_seconds: float = 0.0
+
+
+@dataclass
+class BlameReport:
+    """Final data-centric profile of one run (one locale)."""
+
+    program: str
+    rows: list[BlameRow]
+    stats: RunStats
+    locale_id: int = 0
+
+    def top(self, n: int = 10) -> list[BlameRow]:
+        return self.rows[:n]
+
+    def blame_of(self, name: str, context: str | None = None) -> float:
+        for row in self.rows:
+            if row.name == name and (context is None or row.context == context):
+                return row.blame
+        return 0.0
+
+    def row_for(self, name: str) -> BlameRow | None:
+        for row in self.rows:
+            if row.name == name:
+                return row
+        return None
+
+
+def build_rows(
+    attribution: AttributionResult,
+    min_blame: float = 0.0,
+    include_temps: bool = False,
+) -> list[BlameRow]:
+    """Converts attribution counts into ranked display rows."""
+    total = attribution.total_samples
+    rows: list[BlameRow] = []
+    for vb in attribution.sorted_rows(include_temps=include_temps):
+        frac = vb.percentage(total)
+        if frac < min_blame:
+            continue
+        rows.append(
+            BlameRow(
+                name=vb.name,
+                type_str=str(vb.type) if vb.type is not None else "",
+                blame=frac,
+                context=vb.context,
+                samples=vb.samples,
+                is_path=vb.is_path,
+            )
+        )
+    return rows

@@ -1,0 +1,213 @@
+"""Backward slicing and BlameSet computation (paper §III).
+
+``BlameSet(v, W) = ∪_{w∈W} BackwardsSlice(w)``: the slice closure walks
+
+* operand (use-def) edges,
+* memory edges — a ``load`` of variable v depends, flow-insensitively,
+  on every ``store`` to v in the function (this is how the paper's
+  Table I gives ``c`` both writes to ``a``),
+* control-dependence edges — every instruction depends on the branches
+  controlling its block *and their condition producers* (Table I's
+  line 18 in ``a``'s and ``c``'s blame lines).
+
+The result is inverted into ``iid → {variables}`` so the dynamic side
+can answer ``isBlamed(v, s)`` with one set lookup per sample frame.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from ..ir import instructions as I
+from ..ir.module import Function, Module
+from .control_deps import instruction_control_deps
+from .dataflow import DataFlow, Path, Root, VarKey
+
+
+def paths_may_alias(a: Path, b: Path) -> bool:
+    """Field-sensitive may-alias on access paths: fields must match
+    name-for-name, indices match any index, and a prefix aliases an
+    extension only when the extension does not cross a class
+    dereference ("cfield") — a pointer *slot* is separate memory from
+    the pointee's fields.  Keeps ``p.residue`` loads from depending on
+    stores to ``p.zoneArray[j].value`` (which would otherwise drag
+    CLOMP's whole hot loop into residue's BlameSet)."""
+    n = min(len(a), len(b))
+    for ea, eb in zip(a, b):
+        ka, kb = ea[0], eb[0]
+        if (ka == "index") != (kb == "index"):
+            return False
+        if ka != "index" and (ka != kb or ea[1] != eb[1]):
+            return False
+    longer = a if len(a) > len(b) else b
+    if len(longer) > n and longer[n][0] == "cfield":
+        return False
+    return True
+
+
+class SliceGraph:
+    """Backward dependency edges (iid → dep iids) for one function."""
+
+    def __init__(self, function: Function, dataflow: DataFlow) -> None:
+        self.function = function
+        self.df = dataflow
+        self.deps: dict[int, set[int]] = {}
+        self._build()
+
+    @property
+    def options(self):
+        return self.df.options
+
+    def _build(self) -> None:
+        fn = self.function
+        df = self.df
+        # Stores to each root variable (for load→store memory edges),
+        # keeping the access path for field-sensitive aliasing.
+        stores_by_var: dict[VarKey, list[tuple[Path, int]]] = {}
+        for instr in fn.instructions():
+            if isinstance(instr, I.Store):
+                for key, path in df.roots_of(instr.addr):
+                    stores_by_var.setdefault(key, []).append((path, instr.iid))
+
+        control = instruction_control_deps(fn)
+
+        for instr in fn.instructions():
+            deps = self.deps.setdefault(instr.iid, set())
+            # Operand (explicit data) edges.
+            for op in instr.operands():
+                if isinstance(op, I.Register) and op.producer is not None:
+                    deps.add(op.producer.iid)
+            # Memory edges: loads depend on the stores to the same root
+            # whose paths may alias (flow-insensitive otherwise — the
+            # paper's Table I gives c both writes to a).
+            if isinstance(instr, I.Load):
+                for key, path in df.roots_of(instr.addr):
+                    for spath, siid in stores_by_var.get(key, ()):
+                        if paths_may_alias(path, spath):
+                            deps.add(siid)
+            # Implicit (control) edges: the controlling branches and,
+            # through their operand edges, the condition producers.
+            if df.options.implicit_control:
+                for cbr in control.get(instr.iid, ()):
+                    if cbr.iid != instr.iid:
+                        deps.add(cbr.iid)
+
+    def backward_slice(self, seeds: set[int]) -> frozenset[int]:
+        """Multi-source backward closure from ``seeds``."""
+        seen: set[int] = set(seeds)
+        queue = deque(seeds)
+        while queue:
+            iid = queue.popleft()
+            for dep in self.deps.get(iid, ()):
+                if dep not in seen:
+                    seen.add(dep)
+                    queue.append(dep)
+        return frozenset(seen)
+
+
+@dataclass
+class BlameSets:
+    """Per-function blame sets, both directions.
+
+    ``by_var[(key, path)]`` is the BlameSet (iids) of a variable or a
+    hierarchical sub-variable; ``by_iid[iid]`` is the set of roots
+    blamed when a sample lands on that instruction.
+    """
+
+    by_var: dict[Root, frozenset[int]]
+    by_iid: dict[int, frozenset[Root]]
+
+    def blamed_at(self, iid: int) -> frozenset[Root]:
+        return self.by_iid.get(iid, frozenset())
+
+
+def _cbr_iterable_roots(
+    cbr: I.CBr, dataflow: DataFlow
+) -> frozenset[Root]:
+    """Roots of the iterands whose iterator feeds this branch condition
+    (chasing through the &&-conjunction of zippered loops)."""
+    roots: set[Root] = set()
+    stack: list[I.Value] = [cbr.cond]
+    seen: set[int] = set()
+    while stack:
+        v = stack.pop()
+        if not isinstance(v, I.Register) or v.rid in seen:
+            continue
+        seen.add(v.rid)
+        producer = v.producer
+        if isinstance(producer, I.IterNext):
+            for key, _path in dataflow.roots_of(producer.state):
+                roots.add((key, ()))
+        elif isinstance(producer, I.BinOp) and producer.op in ("&&", "||"):
+            stack.extend(producer.operands())
+        elif isinstance(producer, I.Load):
+            stack.append(producer.addr)
+    return frozenset(roots)
+
+
+def _implicit_iterable_blame(
+    function: Function, dataflow: DataFlow
+) -> dict[Root, frozenset[int]]:
+    """Maps iterand roots to the body instructions they implicitly blame
+    (innermost enclosing loop only)."""
+    imm = instruction_control_deps(function, transitive=False)
+    cbr_roots: dict[int, frozenset[Root]] = {}
+    out: dict[Root, set[int]] = {}
+    for instr in function.instructions():
+        for cbr in imm.get(instr.iid, ()):
+            if not isinstance(cbr, I.CBr):
+                continue
+            roots = cbr_roots.get(cbr.iid)
+            if roots is None:
+                roots = _cbr_iterable_roots(cbr, dataflow)
+                cbr_roots[cbr.iid] = roots
+            for root in roots:
+                out.setdefault(root, set()).add(instr.iid)
+    return {root: frozenset(iids) for root, iids in out.items()}
+
+
+def compute_blame_sets(function: Function, dataflow: DataFlow) -> BlameSets:
+    """BlameSets of every root variable (and materialized field path)
+    of one function.
+
+    Deep writes (real stores, returns) contribute their full backward
+    slice; shallow writes (ref-arg callsites, descriptor bookkeeping)
+    contribute only themselves — the written value is computed in the
+    callee / runtime, so the caller-side operand chain is not the work
+    that produced it (it is attributed through the callee's own blame
+    sets plus the transfer function instead).
+    """
+    graph = SliceGraph(function, dataflow)
+    by_var: dict[Root, frozenset[int]] = {}
+    deep = dataflow.deep_write_iids
+
+    def blame_set(writes) -> frozenset[int]:
+        deep_seeds = {w.iid for w in writes if w.iid in deep}
+        shallow = {w.iid for w in writes if w.iid not in deep}
+        return graph.backward_slice(deep_seeds) | frozenset(shallow)
+
+    for key, writes in dataflow.writes.items():
+        by_var[(key, ())] = blame_set(writes)
+    for root, writes in dataflow.path_writes.items():
+        by_var[root] = blame_set(writes)
+
+    # Implicit iterable blame (paper §IV.A): "all variables within the
+    # loop body inherit blame from the index variable" — generalized to
+    # the domain/array *driving* the loop: instructions in a loop body
+    # join the BlameSet of the innermost loop's iterands (how MiniMD's
+    # binSpace earns 49 % without a single source-level write).
+    if dataflow.options.implicit_iterable:
+        iterable_extra = _implicit_iterable_blame(function, dataflow)
+        for root, iids in iterable_extra.items():
+            by_var[root] = by_var.get(root, frozenset()) | iids
+
+    by_iid: dict[int, set[Root]] = {}
+    for root, iids in by_var.items():
+        for iid in iids:
+            by_iid.setdefault(iid, set()).add(root)
+
+    return BlameSets(
+        by_var=by_var,
+        by_iid={iid: frozenset(roots) for iid, roots in by_iid.items()},
+    )

@@ -1,0 +1,59 @@
+"""Transfer functions: interprocedural blame communication (paper §IV.A).
+
+For each call site (including SpawnJoin — the tasking-layer "call" of an
+outlined parallel-loop body), the static side records which caller roots
+each callee ``ref`` formal binds to.  At post-mortem time, when a
+sample's callee frame blames an exit variable, :meth:`map_up` translates
+it into caller roots: "we use the transfer function to match the blamed
+exit variable(s) from the callee to the blamed parameter(s) in the
+caller".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .dataflow import RET_KEY, DataFlow, Root, VarKey
+
+
+@dataclass(frozen=True)
+class TransferResult:
+    """Outcome of bubbling one frame up."""
+
+    caller_roots: frozenset[Root]
+    #: True when any exit variable (incl. return) was blamed — the
+    #: condition under which callsite-dependent caller variables also
+    #: take blame.
+    any_exit_blamed: bool
+
+
+class TransferFunction:
+    """Per-function map: callsite iid → formal-name → caller roots."""
+
+    def __init__(self, dataflow: DataFlow) -> None:
+        self._by_callsite = dataflow.call_arg_roots
+
+    def map_up(
+        self,
+        callsite_iid: int,
+        blamed_exit_formals: frozenset[Root],
+        return_blamed: bool,
+    ) -> TransferResult:
+        """``blamed_exit_formals`` carries (formal key, path-within-the-
+        formal) pairs; paths compose onto the caller's argument roots, so
+        a callee write to ``p.zoneArray[j].value`` surfaces in the caller
+        as ``partArray[i].zoneArray[j].value`` (paper Table IV)."""
+        from .dataflow import MAX_PATH_DEPTH
+
+        arg_map = self._by_callsite.get(callsite_iid, {})
+        roots: set[Root] = set()
+        for key, inner_path in blamed_exit_formals:
+            if key.kind != "formal":
+                continue
+            for base_key, base_path in arg_map.get(key.ident, ()):
+                composed = (base_path + inner_path)[:MAX_PATH_DEPTH]
+                roots.add((base_key, composed))
+        any_exit = bool(blamed_exit_formals) or return_blamed
+        return TransferResult(
+            caller_roots=frozenset(roots), any_exit_blamed=any_exit
+        )

@@ -1,0 +1,418 @@
+"""AST node definitions for the mini-Chapel frontend.
+
+Every node carries a :class:`~repro.chapel.tokens.SourceLocation`; the
+lowering step threads these through to IR debug info, which is what lets
+the blame analysis attribute machine-level samples back to source lines
+and variables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .tokens import SourceLocation
+
+# ---------------------------------------------------------------------------
+# Base classes
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Node:
+    """Base class of all AST nodes."""
+
+    loc: SourceLocation
+
+
+@dataclass
+class Expr(Node):
+    """Base class of expression nodes."""
+
+
+@dataclass
+class Stmt(Node):
+    """Base class of statement nodes."""
+
+
+# ---------------------------------------------------------------------------
+# Type expressions (syntactic; resolved to semantic types in types.py)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class TypeExpr(Node):
+    """Base class of syntactic type annotations."""
+
+
+@dataclass
+class NamedType(TypeExpr):
+    """A scalar or record type named in source, e.g. ``int``, ``real``,
+    ``int(32)``, or a user record name."""
+
+    name: str
+    width: int | None = None  # e.g. int(32)
+
+
+@dataclass
+class TupleTypeExpr(TypeExpr):
+    """Homogeneous ``N*T`` or heterogeneous ``(T1, T2, ...)`` tuple type."""
+
+    count: int | None  # for N*T form
+    elem: TypeExpr | None  # for N*T form
+    elems: list[TypeExpr] = field(default_factory=list)  # for (T1, T2) form
+
+
+@dataclass
+class ArrayTypeExpr(TypeExpr):
+    """``[D] T`` or ``[lo..hi] T`` array type annotation.
+
+    ``open_rank`` is set (and ``domain`` is None) for open formal types
+    ``[?] T`` / ``[?, ?] T`` whose domain comes from the actual argument.
+    """
+
+    domain: Expr | None  # a domain-valued expression (identifier, range list, ...)
+    elem: TypeExpr
+    open_rank: int | None = None
+
+
+@dataclass
+class DomainTypeExpr(TypeExpr):
+    """``domain(rank)`` type annotation."""
+
+    rank: int
+
+
+@dataclass
+class RangeTypeExpr(TypeExpr):
+    """``range`` type annotation."""
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class IntLit(Expr):
+    value: int
+
+
+@dataclass
+class RealLit(Expr):
+    value: float
+
+
+@dataclass
+class BoolLit(Expr):
+    value: bool
+
+
+@dataclass
+class StringLit(Expr):
+    value: str
+
+
+@dataclass
+class Ident(Expr):
+    name: str
+
+
+@dataclass
+class BinOp(Expr):
+    """Binary operation; ``op`` is the surface operator text (``+``, ``<=``,
+    ``&&``, ...)."""
+
+    op: str
+    lhs: Expr
+    rhs: Expr
+
+
+@dataclass
+class UnOp(Expr):
+    """Unary operation: ``-``, ``!``, ``+``."""
+
+    op: str
+    operand: Expr
+
+
+@dataclass
+class Call(Expr):
+    """A call to a named proc or builtin, e.g. ``sqrt(x)``."""
+
+    callee: str
+    args: list[Expr]
+
+
+@dataclass
+class MethodCall(Expr):
+    """Method-style call, e.g. ``dom.expand(1)`` or ``arr.size()``."""
+
+    receiver: Expr
+    method: str
+    args: list[Expr]
+
+
+@dataclass
+class Index(Expr):
+    """Indexing / slicing / domain remapping: ``A[i]``, ``A[i, j]``,
+    ``A[binSpace]`` (reindex), ``A[2..5]`` (alias slice)."""
+
+    base: Expr
+    indices: list[Expr]
+
+
+@dataclass
+class FieldAccess(Expr):
+    """Record field access ``rec.field``."""
+
+    base: Expr
+    field: str
+
+
+@dataclass
+class TupleLit(Expr):
+    """Tuple literal ``(a, b, c)``."""
+
+    elems: list[Expr]
+
+
+@dataclass
+class RangeLit(Expr):
+    """Range literal ``lo..hi``, ``lo..#count``, optionally ``by step``."""
+
+    lo: Expr
+    hi: Expr
+    counted: bool = False  # True for lo..#count (hi holds the count)
+    step: Expr | None = None
+
+
+@dataclass
+class DomainLit(Expr):
+    """Rectangular domain literal ``{r1, r2, ...}`` of range expressions."""
+
+    dims: list[Expr]
+
+
+@dataclass
+class New(Expr):
+    """Record/class construction ``new R(args)``."""
+
+    type_name: str
+    args: list[Expr]
+
+
+@dataclass
+class Reduce(Expr):
+    """Reduction expression ``op reduce iterable`` (op in +, *, min, max)."""
+
+    op: str
+    iterable: Expr
+
+
+@dataclass
+class IfExpr(Expr):
+    """Ternary ``if c then a else b`` expression."""
+
+    cond: Expr
+    then_expr: Expr
+    else_expr: Expr
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class VarDecl(Stmt):
+    """Declaration: ``var/const/param/config const name [: type] [= init];``
+
+    ``kind`` is one of ``var``, ``const``, ``param``; ``is_config`` marks
+    ``config`` declarations whose initializer may be overridden by the
+    run configuration (the analogue of Chapel's command-line configs).
+    """
+
+    kind: str
+    name: str
+    declared_type: TypeExpr | None
+    init: Expr | None
+    is_config: bool = False
+
+
+@dataclass
+class Assign(Stmt):
+    """Assignment ``lhs op rhs`` where op is ``=``, ``+=``, ``-=``, ``*=``,
+    ``/=``."""
+
+    target: Expr
+    op: str
+    value: Expr
+
+
+@dataclass
+class ExprStmt(Stmt):
+    """An expression evaluated for effect (typically a call)."""
+
+    expr: Expr
+
+
+@dataclass
+class Block(Stmt):
+    stmts: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr
+    then_body: Block
+    else_body: Block | None = None
+
+
+@dataclass
+class While(Stmt):
+    cond: Expr
+    body: Block = None  # type: ignore[assignment]
+
+
+@dataclass
+class LoopIndex:
+    """One induction variable of a loop (a plain name)."""
+
+    name: str
+    loc: SourceLocation
+
+
+@dataclass
+class For(Stmt):
+    """Serial/parallel loop.
+
+    ``kind`` is ``for``, ``forall``, or ``coforall``.  ``indices`` has one
+    entry for plain loops and one per iterand for zippered loops.
+    ``iterables`` has one entry normally, several for ``zip(...)``.
+    ``is_param`` marks ``for param i in ...`` loops (compile-time
+    unrollable; paper Table VII studies exactly this).
+    """
+
+    kind: str
+    indices: list[LoopIndex]
+    iterables: list[Expr]
+    body: Block
+    is_param: bool = False
+    zippered: bool = False
+    #: Reduce intents from a `with (+ reduce x, ...)` clause: (op, name).
+    #: Each task accumulates into a private copy combined at the join.
+    reduce_intents: list[tuple[str, str]] = field(default_factory=list)
+
+
+@dataclass
+class Return(Stmt):
+    value: Expr | None = None
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+@dataclass
+class When:
+    """One arm of a select statement."""
+
+    values: list[Expr]
+    body: Block
+    loc: SourceLocation
+
+
+@dataclass
+class Select(Stmt):
+    """``select e { when v1 {..} when v2 {..} otherwise {..} }``."""
+
+    subject: Expr
+    whens: list[When]
+    otherwise: Block | None = None
+
+
+@dataclass
+class Use(Stmt):
+    """``use ModuleName;`` — accepted and ignored (single-module model)."""
+
+    module: str
+
+
+# ---------------------------------------------------------------------------
+# Declarations
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Param:
+    """A formal parameter of a proc: name, intent, optional type."""
+
+    name: str
+    intent: str  # "in" (default, by value), "ref", "out", "inout", "param"
+    declared_type: TypeExpr | None
+    loc: SourceLocation
+
+
+@dataclass
+class ProcDecl(Stmt):
+    """Procedure declaration. Procs may nest (LULESH's
+    ``ElemFaceNormal`` lives inside ``CalcElemNodeNormals``).
+
+    ``is_iter`` marks serial iterators (``iter`` procs with ``yield``);
+    they are consumed by ``for`` loops via inline expansion, the way
+    the Chapel compiler lowers serial iterators."""
+
+    name: str
+    params: list[Param]
+    return_type: TypeExpr | None
+    body: Block
+    is_iter: bool = False
+
+
+@dataclass
+class Yield(Stmt):
+    """``yield expr;`` inside an ``iter`` proc."""
+
+    value: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class FieldDecl:
+    """A record field: name, type, optional default initializer."""
+
+    name: str
+    declared_type: TypeExpr
+    init: Expr | None
+    loc: SourceLocation
+
+
+@dataclass
+class RecordDecl(Stmt):
+    """``record R { var f1: T1; ... }`` (classes are treated as records;
+    the single-locale value model makes the distinction immaterial for
+    blame attribution)."""
+
+    name: str
+    fields: list[FieldDecl]
+    is_class: bool = False
+
+
+@dataclass
+class Program(Node):
+    """A whole source file: an ordered list of top-level statements.
+
+    Top-level ``VarDecl``s are the program's global variables (Chapel
+    module-level variables, initialized before ``main`` runs — MiniMD's
+    ``Pos``/``Bins`` live here).  If a ``proc main`` is declared it is
+    invoked after global initialization; otherwise the remaining
+    top-level statements form an implicit main.
+    """
+
+    decls: list[Stmt] = field(default_factory=list)
+    filename: str = "<string>"

@@ -1,0 +1,42 @@
+"""Diagnostic errors raised by the mini-Chapel frontend."""
+
+from __future__ import annotations
+
+from .tokens import SourceLocation
+
+
+class ChapelError(Exception):
+    """Base class for all frontend diagnostics.
+
+    Carries an optional :class:`SourceLocation` so callers (and tests)
+    can pinpoint the offending source text.
+    """
+
+    def __init__(self, message: str, loc: SourceLocation | None = None) -> None:
+        self.message = message
+        self.loc = loc
+        super().__init__(str(self))
+
+    def __str__(self) -> str:
+        if self.loc is not None:
+            return f"{self.loc}: {self.message}"
+        return self.message
+
+
+class LexError(ChapelError):
+    """Raised for unrecognized characters or malformed literals."""
+
+
+class ParseError(ChapelError):
+    """Raised when the token stream does not match the grammar."""
+
+
+class TypeError_(ChapelError):
+    """Raised for type mismatches during semantic checking.
+
+    Named with a trailing underscore to avoid shadowing the builtin.
+    """
+
+
+class NameError_(ChapelError):
+    """Raised for unresolved or duplicate identifiers."""

@@ -1,0 +1,15 @@
+"""Compiler: AST→IR lowering, intrinsics, and the ``--fast``
+optimization pass pipeline.
+"""
+
+from .intrinsics import INTRINSICS, Intrinsic, is_intrinsic
+from .lower import Lowerer, compile_source, lower_program
+
+__all__ = [
+    "INTRINSICS",
+    "Intrinsic",
+    "Lowerer",
+    "compile_source",
+    "is_intrinsic",
+    "lower_program",
+]

@@ -1,0 +1,13 @@
+"""Optimization pass pipeline — the ``--fast`` analogue.
+
+``run_fast_pipeline`` applies the passes the paper's footnote blames for
+breaking the IR↔source mapping: inlining (functions disappear /
+rename), constant folding + copy propagation, dead-code elimination
+(variables optimized out), and CFG simplification.  Besides speeding
+execution, the pipeline *strips debug bindings* from what it touches —
+reproducing why the tool profiles without ``--fast``.
+"""
+
+from .pass_manager import PassManager, run_fast_pipeline
+
+__all__ = ["PassManager", "run_fast_pipeline"]

@@ -1,0 +1,73 @@
+"""Store-to-load forwarding within basic blocks (a copy-propagation /
+mem2reg-lite pass).
+
+The -O0-style lowering produces ``store x, %a; ...; load %a`` chains for
+every variable access; forwarding the stored value removes the load.
+Conservative kill rules: any other store, call, or spawn invalidates all
+tracked slots (no alias analysis needed for correctness).
+"""
+
+from __future__ import annotations
+
+from ...ir import instructions as I
+from ...ir.module import Module
+
+
+def copy_propagate(module: Module) -> bool:
+    changed = False
+    for fn in module.functions.values():
+        replacements: dict[int, I.Value] = {}
+        for block in fn.blocks:
+            # address register rid → last stored value in this block
+            known: dict[int, I.Value] = {}
+            for instr in block.instructions:
+                if isinstance(instr, I.Store):
+                    addr = instr.addr
+                    value = instr.value
+                    if isinstance(addr, I.Register):
+                        # A store to one tracked slot invalidates others
+                        # that might alias (conservative: all of them),
+                        # then records this one.
+                        known.clear()
+                        # Forwarding composites would break value
+                        # semantics (the slot holds a copy): only
+                        # forward scalar-typed values.
+                        from ...chapel.types import (
+                            BoolType,
+                            IntType,
+                            RealType,
+                            StringType,
+                        )
+
+                        if isinstance(
+                            value.type, (IntType, RealType, BoolType, StringType)
+                        ):
+                            known[addr.rid] = value
+                    else:
+                        known.clear()
+                elif isinstance(instr, I.Load):
+                    addr = instr.addr
+                    if isinstance(addr, I.Register) and addr.rid in known:
+                        assert instr.result is not None
+                        replacements[instr.result.rid] = known[addr.rid]
+                elif isinstance(instr, (I.Call, I.SpawnJoin)):
+                    known.clear()
+        if not replacements:
+            continue
+        changed = True
+        for block in fn.blocks:
+            for instr in block.instructions:
+                for op in list(instr.operands()):
+                    if isinstance(op, I.Register) and op.rid in replacements:
+                        new = replacements[op.rid]
+                        # Chase chains (load of a forwarded load).
+                        seen = set()
+                        while (
+                            isinstance(new, I.Register)
+                            and new.rid in replacements
+                            and new.rid not in seen
+                        ):
+                            seen.add(new.rid)
+                            new = replacements[new.rid]
+                        instr.replace_operand(op, new)
+    return changed

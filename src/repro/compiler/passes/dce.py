@@ -1,0 +1,91 @@
+"""Dead-code elimination.
+
+Removes (iterating to fixpoint):
+
+* pure instructions whose results are unused (arithmetic, address
+  computations, loads, tuple/domain constructions — even ``makearray``,
+  eliding the allocation);
+* stores to *dead allocas* — locals whose address is never loaded from
+  or escapes — and then the allocas themselves.
+
+This is the pass that makes variables disappear ("variables optimized
+out", paper §V footnote): a removed alloca takes its debug binding with
+it, so the blame mapping for that variable is gone.
+"""
+
+from __future__ import annotations
+
+from ...ir import instructions as I
+from ...ir.module import Module
+
+#: Instruction classes with no side effects (removable when unused).
+_PURE = (
+    I.BinOp,
+    I.UnOp,
+    I.Cast,
+    I.Load,
+    I.FieldAddr,
+    I.ElemAddr,
+    I.TupleElemAddr,
+    I.MakeRange,
+    I.MakeDomain,
+    I.MakeArray,
+    I.ArraySlice,
+    I.ArrayReindex,
+    I.DomainOp,
+    I.MakeTuple,
+    I.TupleGet,
+)
+
+
+def dead_code_eliminate(module: Module) -> bool:
+    changed_any = False
+    for fn in module.functions.values():
+        while True:
+            used: set[int] = set()
+            for block in fn.blocks:
+                for instr in block.instructions:
+                    for op in instr.operands():
+                        if isinstance(op, I.Register):
+                            used.add(op.rid)
+
+            # Allocas whose address only ever feeds store *targets* are
+            # write-only locals: dead.
+            loaded_or_escaped: set[int] = set()
+            for block in fn.blocks:
+                for instr in block.instructions:
+                    for op in instr.operands():
+                        if not isinstance(op, I.Register):
+                            continue
+                        if isinstance(instr, I.Store) and op is instr.addr:
+                            continue  # pure write target
+                        loaded_or_escaped.add(op.rid)
+
+            dead: list[tuple[object, I.Instruction]] = []
+            for block in fn.blocks:
+                for instr in block.instructions:
+                    if instr.is_terminator():
+                        continue
+                    if isinstance(instr, I.Store):
+                        addr = instr.addr
+                        if (
+                            isinstance(addr, I.Register)
+                            and addr.producer is not None
+                            and isinstance(addr.producer, I.Alloca)
+                            and addr.rid not in loaded_or_escaped
+                        ):
+                            dead.append((block, instr))
+                        continue
+                    if isinstance(instr, I.Alloca):
+                        if instr.result.rid not in used:
+                            dead.append((block, instr))
+                        continue
+                    if isinstance(instr, _PURE):
+                        if instr.result is not None and instr.result.rid not in used:
+                            dead.append((block, instr))
+            if not dead:
+                break
+            changed_any = True
+            for block, instr in dead:
+                block.instructions.remove(instr)  # type: ignore[union-attr]
+    return changed_any

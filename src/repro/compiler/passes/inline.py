@@ -1,0 +1,188 @@
+"""Function inlining (the pass that makes functions "removed or renamed"
+under --fast, per the paper's footnote).
+
+Conservatively inlines *single-block* callees below a size threshold:
+the callee's instructions are cloned into the caller with fresh
+registers, formals are substituted with actuals (``ref`` formals receive
+the caller's address value directly), and the return value replaces the
+call result.  Fully-inlined functions are dropped from the module —
+together with their debug bindings.
+"""
+
+from __future__ import annotations
+
+from ...ir import instructions as I
+from ...ir.module import Function, Module
+
+#: Maximum callee size (instructions) eligible for inlining.
+INLINE_THRESHOLD = 48
+
+
+def _eligible(fn: Function) -> bool:
+    if len(fn.blocks) != 1:
+        return False
+    if fn.is_artificial or fn.outlined_from is not None:
+        return False
+    if fn.name == "main":
+        return False
+    instrs = fn.blocks[0].instructions
+    if len(instrs) > INLINE_THRESHOLD:
+        return False
+    if not isinstance(instrs[-1], I.Ret):
+        return False
+    # No self-calls (recursion) and no spawns.
+    for instr in instrs:
+        if isinstance(instr, I.Call) and instr.callee == fn.name:
+            return False
+        if isinstance(instr, I.SpawnJoin):
+            return False
+    return True
+
+
+def _clone_body(
+    callee: Function, args: list[I.Value]
+) -> tuple[list[I.Instruction], I.Value | None]:
+    """Clones the single-block body, substituting formals with actuals.
+    Returns (instructions, return value)."""
+    mapping: dict[int, I.Value] = {}
+    for p, a in zip(callee.params, args):
+        mapping[p.register.rid] = a
+
+    def sub(v: I.Value) -> I.Value:
+        if isinstance(v, I.Register):
+            return mapping.get(v.rid, v)
+        return v
+
+    out: list[I.Instruction] = []
+    ret_value: I.Value | None = None
+    for instr in callee.blocks[0].instructions:
+        if isinstance(instr, I.Ret):
+            ret_value = sub(instr.value) if instr.value is not None else None
+            break
+        clone = _clone_instr(instr, sub)
+        if instr.result is not None:
+            assert clone.result is not None
+            mapping[instr.result.rid] = clone.result
+        out.append(clone)
+    return out, ret_value
+
+
+def _clone_instr(instr: I.Instruction, sub) -> I.Instruction:
+    loc = instr.loc
+    res = (
+        I.Register(instr.result.type, hint=instr.result.hint)
+        if instr.result is not None
+        else None
+    )
+    if isinstance(instr, I.Alloca):
+        assert res is not None
+        return I.Alloca(
+            loc, res, instr.alloc_type, instr.var_name, instr.is_temp,
+            formal_home=instr.formal_home,
+        )
+    if isinstance(instr, I.Load):
+        return I.Load(loc, res, sub(instr.addr))  # type: ignore[arg-type]
+    if isinstance(instr, I.Store):
+        return I.Store(loc, sub(instr.value), sub(instr.addr))
+    if isinstance(instr, I.FieldAddr):
+        return I.FieldAddr(loc, res, sub(instr.base), instr.index, instr.field_name)  # type: ignore[arg-type]
+    if isinstance(instr, I.ElemAddr):
+        return I.ElemAddr(loc, res, sub(instr.base), [sub(x) for x in instr.indices])  # type: ignore[arg-type]
+    if isinstance(instr, I.TupleElemAddr):
+        return I.TupleElemAddr(loc, res, sub(instr.base), sub(instr.index))  # type: ignore[arg-type]
+    if isinstance(instr, I.BinOp):
+        return I.BinOp(loc, res, instr.op, sub(instr.lhs), sub(instr.rhs))  # type: ignore[arg-type]
+    if isinstance(instr, I.UnOp):
+        return I.UnOp(loc, res, instr.op, sub(instr.operand))  # type: ignore[arg-type]
+    if isinstance(instr, I.Cast):
+        return I.Cast(loc, res, sub(instr.value))  # type: ignore[arg-type]
+    if isinstance(instr, I.Call):
+        return I.Call(loc, res, instr.callee, [sub(a) for a in instr.args], instr.is_builtin)
+    if isinstance(instr, I.MakeRange):
+        return I.MakeRange(
+            loc, res, sub(instr.ops[0]), sub(instr.ops[1]), sub(instr.ops[2]), instr.counted  # type: ignore[arg-type]
+        )
+    if isinstance(instr, I.MakeDomain):
+        return I.MakeDomain(loc, res, [sub(d) for d in instr.ops])  # type: ignore[arg-type]
+    if isinstance(instr, I.MakeArray):
+        return I.MakeArray(loc, res, sub(instr.domain), instr.elem_type)  # type: ignore[arg-type]
+    if isinstance(instr, I.ArraySlice):
+        return I.ArraySlice(loc, res, sub(instr.base), sub(instr.domain))  # type: ignore[arg-type]
+    if isinstance(instr, I.ArrayReindex):
+        return I.ArrayReindex(loc, res, sub(instr.base), sub(instr.domain))  # type: ignore[arg-type]
+    if isinstance(instr, I.DomainOp):
+        return I.DomainOp(loc, res, instr.op, sub(instr.base), [sub(a) for a in instr.ops[1:]])  # type: ignore[arg-type]
+    if isinstance(instr, I.MakeTuple):
+        return I.MakeTuple(loc, res, [sub(e) for e in instr.ops])  # type: ignore[arg-type]
+    if isinstance(instr, I.TupleGet):
+        return I.TupleGet(loc, res, sub(instr.tup), sub(instr.index))  # type: ignore[arg-type]
+    if isinstance(instr, I.NewObject):
+        return I.NewObject(loc, res, instr.type_name, [sub(a) for a in instr.ops])  # type: ignore[arg-type]
+    if isinstance(instr, I.IterInit):
+        return I.IterInit(loc, res, sub(instr.iterable), instr.zippered)  # type: ignore[arg-type]
+    if isinstance(instr, I.IterNext):
+        return I.IterNext(loc, res, sub(instr.state))  # type: ignore[arg-type]
+    if isinstance(instr, I.IterValue):
+        return I.IterValue(loc, res, sub(instr.state))  # type: ignore[arg-type]
+    raise AssertionError(f"cannot clone {instr.opname}")
+
+
+def inline_small_functions(module: Module) -> bool:
+    eligible = {name for name, fn in module.functions.items() if _eligible(fn)}
+    if not eligible:
+        return False
+    changed = False
+    for fn in module.functions.values():
+        for block in fn.blocks:
+            i = 0
+            while i < len(block.instructions):
+                instr = block.instructions[i]
+                if (
+                    isinstance(instr, I.Call)
+                    and not instr.is_builtin
+                    and instr.callee in eligible
+                    and instr.callee != fn.name
+                ):
+                    callee = module.functions[instr.callee]
+                    body, ret_value = _clone_body(callee, list(instr.args))
+                    for clone in body:
+                        clone.parent = block
+                    block.instructions[i : i + 1] = body
+                    i += len(body)
+                    if instr.result is not None:
+                        # Replace uses of the call result everywhere.
+                        replacement = (
+                            ret_value
+                            if ret_value is not None
+                            else I.Constant(instr.result.type, 0)
+                        )
+                        _replace_uses(fn, instr.result, replacement)
+                    changed = True
+                    continue
+                i += 1
+
+    if changed:
+        _drop_dead_functions(module, eligible)
+    return changed
+
+
+def _replace_uses(fn: Function, old: I.Register, new: I.Value) -> None:
+    for block in fn.blocks:
+        for instr in block.instructions:
+            for op in list(instr.operands()):
+                if isinstance(op, I.Register) and op.rid == old.rid:
+                    instr.replace_operand(op, new)
+
+
+def _drop_dead_functions(module: Module, candidates: set[str]) -> None:
+    """Removes fully-inlined functions with no remaining call sites —
+    they vanish from profiles, as the paper observed under --fast."""
+    called: set[str] = set()
+    for _f, instr in module.all_instructions():
+        if isinstance(instr, I.Call) and not instr.is_builtin:
+            called.add(instr.callee)
+        if isinstance(instr, I.SpawnJoin):
+            called.add(instr.outlined)
+    for name in candidates:
+        if name not in called and name != "main":
+            module.functions.pop(name, None)

@@ -1,0 +1,57 @@
+"""Pass manager: ordering, verification, and the --fast pipeline."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from ...ir.module import Module
+from ...ir.verifier import verify_module
+
+#: A pass takes a module and returns True if it changed anything.
+Pass = Callable[[Module], bool]
+
+
+class PassManager:
+    """Runs passes in order, re-verifying after each (paranoid mode —
+    the blame analysis downstream assumes well-formed IR)."""
+
+    def __init__(self, passes: Iterable[tuple[str, Pass]], verify: bool = True) -> None:
+        self.passes = list(passes)
+        self.verify = verify
+        self.log: list[tuple[str, bool]] = []
+
+    def run(self, module: Module) -> bool:
+        changed_any = False
+        for name, p in self.passes:
+            changed = p(module)
+            self.log.append((name, changed))
+            changed_any = changed_any or changed
+            if self.verify:
+                verify_module(module)
+        return changed_any
+
+
+def default_fast_passes() -> list[tuple[str, Pass]]:
+    from .constant_fold import constant_fold
+    from .copy_prop import copy_propagate
+    from .dce import dead_code_eliminate
+    from .inline import inline_small_functions
+    from .simplify_cfg import simplify_cfg
+
+    return [
+        ("inline", inline_small_functions),
+        ("constant-fold", constant_fold),
+        ("copy-prop", copy_propagate),
+        ("dce", dead_code_eliminate),
+        ("simplify-cfg", simplify_cfg),
+        # A second round: inlining exposes more folding.
+        ("constant-fold-2", constant_fold),
+        ("copy-prop-2", copy_propagate),
+        ("dce-2", dead_code_eliminate),
+        ("simplify-cfg-2", simplify_cfg),
+    ]
+
+
+def run_fast_pipeline(module: Module) -> bool:
+    """Applies the full --fast pipeline in place."""
+    return PassManager(default_fast_passes()).run(module)

@@ -1,0 +1,76 @@
+"""CFG simplification: constant-branch threading, unreachable-block
+removal, and linear block merging."""
+
+from __future__ import annotations
+
+from ...ir import instructions as I
+from ...ir.module import Function, Module
+
+
+def _thread_constant_branches(fn: Function) -> bool:
+    changed = False
+    for block in fn.blocks:
+        term = block.terminator
+        if isinstance(term, I.CBr) and isinstance(term.cond, I.Constant):
+            target = term.then_block if term.cond.value else term.else_block
+            br = I.Br(term.loc, target)
+            block.instructions[-1] = br
+            br.parent = block
+            changed = True
+    return changed
+
+
+def _remove_unreachable(fn: Function) -> bool:
+    reachable = set()
+    stack = [fn.entry]
+    while stack:
+        b = stack.pop()
+        if b in reachable:
+            continue
+        reachable.add(b)
+        stack.extend(b.successors())
+    if len(reachable) == len(fn.blocks):
+        return False
+    fn.blocks = [b for b in fn.blocks if b in reachable]
+    return True
+
+
+def _merge_linear_blocks(fn: Function) -> bool:
+    """Folds B into A when A ends in `br B` and B has A as sole pred."""
+    changed = False
+    while True:
+        preds: dict[object, list[object]] = {b: [] for b in fn.blocks}
+        for b in fn.blocks:
+            for s in b.successors():
+                preds[s].append(b)
+        merged = False
+        for a in fn.blocks:
+            term = a.terminator
+            if not isinstance(term, I.Br):
+                continue
+            b = term.target
+            if b is a or b not in preds or len(preds[b]) != 1:
+                continue
+            if b is fn.entry:
+                continue
+            # Fold: drop A's br, append B's instructions.
+            a.instructions.pop()
+            for instr in b.instructions:  # type: ignore[union-attr]
+                a.instructions.append(instr)
+                instr.parent = a
+            fn.blocks.remove(b)  # type: ignore[arg-type]
+            merged = True
+            changed = True
+            break
+        if not merged:
+            return changed
+
+
+def simplify_cfg(module: Module) -> bool:
+    changed = False
+    for fn in module.functions.values():
+        c1 = _thread_constant_branches(fn)
+        c2 = _remove_unreachable(fn)
+        c3 = _merge_linear_blocks(fn)
+        changed = changed or c1 or c2 or c3
+    return changed

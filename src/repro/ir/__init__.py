@@ -1,0 +1,61 @@
+"""LLVM-like IR substrate: instructions, containers, CFG, dominators,
+debug info, printing, verification.
+
+See DESIGN.md §2: this replaces LLVM bitcode + DWARF in the paper's
+pipeline while exposing the same analysis surface (stores, use-def
+chains, control flow, instruction→line and storage→variable maps).
+"""
+
+from .builder import IRBuilder
+from .cfg import CFG
+from .debug_info import LineTable, VariableInfo, collect_variables
+from .dominators import DominatorTree, control_dependence, dominator_tree, postdominator_tree
+from .instructions import (
+    Alloca,
+    ArrayReindex,
+    ArraySlice,
+    BinOp,
+    Br,
+    Call,
+    Cast,
+    CBr,
+    Constant,
+    DomainOp,
+    ElemAddr,
+    FieldAddr,
+    GlobalRef,
+    Instruction,
+    IterInit,
+    IterNext,
+    IterValue,
+    Load,
+    MakeArray,
+    MakeDomain,
+    MakeRange,
+    MakeTuple,
+    NewObject,
+    Register,
+    Ret,
+    SpawnJoin,
+    Store,
+    TupleElemAddr,
+    TupleGet,
+    UnOp,
+    Value,
+)
+from .module import BasicBlock, Function, FunctionParam, GlobalVar, Module
+from .printer import print_function, print_module
+from .verifier import VerificationError, verify_function, verify_module
+
+__all__ = [
+    "Alloca", "ArrayReindex", "ArraySlice", "BasicBlock", "BinOp", "Br",
+    "CBr", "CFG", "Call", "Cast", "Constant", "DomainOp", "DominatorTree",
+    "ElemAddr", "FieldAddr", "Function", "FunctionParam", "GlobalRef",
+    "GlobalVar", "IRBuilder", "Instruction", "IterInit", "IterNext",
+    "IterValue", "LineTable", "Load", "MakeArray", "MakeDomain", "MakeRange",
+    "MakeTuple", "Module", "NewObject", "Register", "Ret", "SpawnJoin",
+    "Store", "TupleElemAddr", "TupleGet", "UnOp", "Value", "VariableInfo",
+    "VerificationError", "collect_variables", "control_dependence",
+    "dominator_tree", "postdominator_tree", "print_function", "print_module",
+    "verify_function", "verify_module",
+]

@@ -1,0 +1,238 @@
+"""IRBuilder: convenience layer for emitting instructions.
+
+Tracks an insertion block and threads source locations so every emitted
+instruction lands with correct debug info (the property the blame
+pipeline depends on).
+"""
+
+from __future__ import annotations
+
+from ..chapel.tokens import SourceLocation
+from ..chapel.types import BOOL, INT, RANGE, DomainType, Type
+from . import instructions as ins
+from .module import BasicBlock, Function
+
+
+class IRBuilder:
+    """Emits instructions into a current :class:`BasicBlock`."""
+
+    def __init__(self, function: Function) -> None:
+        self.function = function
+        self.block: BasicBlock | None = None
+
+    # -- Block management ----------------------------------------------------
+
+    def new_block(self, label: str | None = None) -> BasicBlock:
+        return self.function.add_block(BasicBlock(label))
+
+    def set_block(self, block: BasicBlock) -> None:
+        self.block = block
+
+    def _emit(self, instr: ins.Instruction) -> ins.Instruction:
+        assert self.block is not None, "no insertion block set"
+        if self.block.terminator is not None:
+            # Dead code after a terminator: emit into a fresh unreachable
+            # block so the IR stays well-formed (e.g. code after return).
+            self.block = self.new_block("dead")
+        self.block.append(instr)
+        return instr
+
+    @property
+    def terminated(self) -> bool:
+        return self.block is not None and self.block.terminator is not None
+
+    # -- Memory -----------------------------------------------------------------
+
+    def alloca(
+        self,
+        loc: SourceLocation,
+        ty: Type,
+        name: str,
+        is_temp: bool = False,
+        formal_home: str | None = None,
+    ) -> ins.Register:
+        reg = ins.Register(ty, hint=f"addr_{name}")
+        self._emit(
+            ins.Alloca(loc, reg, ty, name, is_temp=is_temp, formal_home=formal_home)
+        )
+        return reg
+
+    def load(self, loc: SourceLocation, addr: ins.Value, ty: Type) -> ins.Register:
+        reg = ins.Register(ty)
+        self._emit(ins.Load(loc, reg, addr))
+        return reg
+
+    def store(self, loc: SourceLocation, value: ins.Value, addr: ins.Value) -> None:
+        self._emit(ins.Store(loc, value, addr))
+
+    def field_addr(
+        self, loc: SourceLocation, base: ins.Value, index: int, name: str, ty: Type
+    ) -> ins.Register:
+        reg = ins.Register(ty)
+        self._emit(ins.FieldAddr(loc, reg, base, index, name))
+        return reg
+
+    def elem_addr(
+        self, loc: SourceLocation, base: ins.Value, indices: list[ins.Value], ty: Type
+    ) -> ins.Register:
+        reg = ins.Register(ty)
+        self._emit(ins.ElemAddr(loc, reg, base, indices))
+        return reg
+
+    def tuple_elem_addr(
+        self, loc: SourceLocation, base: ins.Value, index: ins.Value, ty: Type
+    ) -> ins.Register:
+        reg = ins.Register(ty)
+        self._emit(ins.TupleElemAddr(loc, reg, base, index))
+        return reg
+
+    # -- Scalar ops ----------------------------------------------------------------
+
+    def binop(
+        self, loc: SourceLocation, op: str, lhs: ins.Value, rhs: ins.Value, ty: Type
+    ) -> ins.Register:
+        reg = ins.Register(ty)
+        self._emit(ins.BinOp(loc, reg, op, lhs, rhs))
+        return reg
+
+    def unop(self, loc: SourceLocation, op: str, operand: ins.Value, ty: Type) -> ins.Register:
+        reg = ins.Register(ty)
+        self._emit(ins.UnOp(loc, reg, op, operand))
+        return reg
+
+    def cast(self, loc: SourceLocation, value: ins.Value, ty: Type) -> ins.Register:
+        reg = ins.Register(ty)
+        self._emit(ins.Cast(loc, reg, value))
+        return reg
+
+    # -- Calls / control flow ----------------------------------------------------
+
+    def call(
+        self,
+        loc: SourceLocation,
+        callee: str,
+        args: list[ins.Value],
+        return_type: Type,
+        is_builtin: bool = False,
+    ) -> ins.Register | None:
+        from ..chapel.types import VoidType
+
+        result = None if isinstance(return_type, VoidType) else ins.Register(return_type)
+        self._emit(ins.Call(loc, result, callee, args, is_builtin=is_builtin))
+        return result
+
+    def ret(self, loc: SourceLocation, value: ins.Value | None = None) -> None:
+        self._emit(ins.Ret(loc, value))
+
+    def br(self, loc: SourceLocation, target: BasicBlock) -> None:
+        self._emit(ins.Br(loc, target))
+
+    def cbr(
+        self,
+        loc: SourceLocation,
+        cond: ins.Value,
+        then_block: BasicBlock,
+        else_block: BasicBlock,
+    ) -> None:
+        self._emit(ins.CBr(loc, cond, then_block, else_block))
+
+    # -- Runtime ops -----------------------------------------------------------
+
+    def make_range(
+        self,
+        loc: SourceLocation,
+        lo: ins.Value,
+        hi: ins.Value,
+        step: ins.Value | None = None,
+        counted: bool = False,
+    ) -> ins.Register:
+        reg = ins.Register(RANGE)
+        step = step or ins.Constant(INT, 1)
+        self._emit(ins.MakeRange(loc, reg, lo, hi, step, counted=counted))
+        return reg
+
+    def make_domain(self, loc: SourceLocation, dims: list[ins.Value]) -> ins.Register:
+        reg = ins.Register(DomainType(len(dims)))
+        self._emit(ins.MakeDomain(loc, reg, dims))
+        return reg
+
+    def make_array(
+        self, loc: SourceLocation, domain: ins.Value, elem_type: Type, arr_type: Type
+    ) -> ins.Register:
+        reg = ins.Register(arr_type)
+        self._emit(ins.MakeArray(loc, reg, domain, elem_type))
+        return reg
+
+    def array_slice(
+        self, loc: SourceLocation, base: ins.Value, domain: ins.Value, ty: Type
+    ) -> ins.Register:
+        reg = ins.Register(ty)
+        self._emit(ins.ArraySlice(loc, reg, base, domain))
+        return reg
+
+    def array_reindex(
+        self, loc: SourceLocation, base: ins.Value, domain: ins.Value, ty: Type
+    ) -> ins.Register:
+        reg = ins.Register(ty)
+        self._emit(ins.ArrayReindex(loc, reg, base, domain))
+        return reg
+
+    def domain_op(
+        self,
+        loc: SourceLocation,
+        op: str,
+        base: ins.Value,
+        args: list[ins.Value],
+        ty: Type,
+    ) -> ins.Register:
+        reg = ins.Register(ty)
+        self._emit(ins.DomainOp(loc, reg, op, base, args))
+        return reg
+
+    def make_tuple(
+        self, loc: SourceLocation, elems: list[ins.Value], ty: Type
+    ) -> ins.Register:
+        reg = ins.Register(ty)
+        self._emit(ins.MakeTuple(loc, reg, elems))
+        return reg
+
+    def tuple_get(
+        self, loc: SourceLocation, tup: ins.Value, index: ins.Value, ty: Type
+    ) -> ins.Register:
+        reg = ins.Register(ty)
+        self._emit(ins.TupleGet(loc, reg, tup, index))
+        return reg
+
+    def new_object(
+        self, loc: SourceLocation, type_name: str, args: list[ins.Value], ty: Type
+    ) -> ins.Register:
+        reg = ins.Register(ty)
+        self._emit(ins.NewObject(loc, reg, type_name, args))
+        return reg
+
+    def iter_init(
+        self, loc: SourceLocation, iterable: ins.Value, zippered: bool
+    ) -> ins.Register:
+        reg = ins.Register(INT, hint="iter")
+        self._emit(ins.IterInit(loc, reg, iterable, zippered))
+        return reg
+
+    def iter_next(self, loc: SourceLocation, state: ins.Value) -> ins.Register:
+        reg = ins.Register(BOOL)
+        self._emit(ins.IterNext(loc, reg, state))
+        return reg
+
+    def iter_value(self, loc: SourceLocation, state: ins.Value, ty: Type) -> ins.Register:
+        reg = ins.Register(ty)
+        self._emit(ins.IterValue(loc, reg, state))
+        return reg
+
+    def spawn_join(
+        self,
+        loc: SourceLocation,
+        outlined: str,
+        kind: str,
+        iterables: list[ins.Value],
+        captures: list[ins.Value],
+    ) -> None:
+        self._emit(ins.SpawnJoin(loc, outlined, kind, iterables, captures))

@@ -1,0 +1,70 @@
+"""Control-flow graph utilities over IR functions.
+
+Provides predecessor maps, reachability, and reverse-postorder — the
+inputs to dominator/post-dominator construction used by the implicit
+(control-dependence) blame transfer.
+"""
+
+from __future__ import annotations
+
+from .module import BasicBlock, Function
+
+
+class CFG:
+    """Immutable snapshot of a function's control-flow graph."""
+
+    def __init__(self, function: Function) -> None:
+        self.function = function
+        self.blocks: list[BasicBlock] = list(function.blocks)
+        self.succs: dict[BasicBlock, list[BasicBlock]] = {
+            b: b.successors() for b in self.blocks
+        }
+        self.preds: dict[BasicBlock, list[BasicBlock]] = {b: [] for b in self.blocks}
+        for b, succs in self.succs.items():
+            for s in succs:
+                self.preds[s].append(b)
+
+    @property
+    def entry(self) -> BasicBlock:
+        return self.function.entry
+
+    def exit_blocks(self) -> list[BasicBlock]:
+        """Blocks ending in ``ret`` (or with no successors)."""
+        return [b for b in self.blocks if not self.succs[b]]
+
+    def reachable(self) -> set[BasicBlock]:
+        seen: set[BasicBlock] = set()
+        stack = [self.entry]
+        while stack:
+            b = stack.pop()
+            if b in seen:
+                continue
+            seen.add(b)
+            stack.extend(self.succs[b])
+        return seen
+
+    def reverse_postorder(self) -> list[BasicBlock]:
+        """Reverse postorder over reachable blocks (entry first)."""
+        seen: set[BasicBlock] = set()
+        order: list[BasicBlock] = []
+
+        def visit(block: BasicBlock) -> None:
+            # Iterative DFS to avoid recursion limits on long chains.
+            stack: list[tuple[BasicBlock, int]] = [(block, 0)]
+            seen.add(block)
+            while stack:
+                b, i = stack[-1]
+                succs = self.succs[b]
+                if i < len(succs):
+                    stack[-1] = (b, i + 1)
+                    s = succs[i]
+                    if s not in seen:
+                        seen.add(s)
+                        stack.append((s, 0))
+                else:
+                    order.append(b)
+                    stack.pop()
+
+        visit(self.entry)
+        order.reverse()
+        return order

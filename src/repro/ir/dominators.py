@@ -1,0 +1,164 @@
+"""Dominator and post-dominator trees; control-dependence computation.
+
+Implements the Cooper–Harvey–Kennedy iterative dominance algorithm and
+the classic Ferrante–Ottenstein–Warren control-dependence construction
+(via post-dominance frontiers).  The paper's implicit blame transfer —
+"all variables within control dependent basic blocks have a relationship
+to the implicit variables responsible for the control flow" (§IV.A) —
+is computed directly from :func:`control_dependence`.
+"""
+
+from __future__ import annotations
+
+from .cfg import CFG
+from .module import BasicBlock
+
+
+class DominatorTree:
+    """Immediate-dominator map computed over a CFG (or its reverse).
+
+    ``idom[entry] is entry`` by convention; unreachable blocks are
+    absent from the map.
+    """
+
+    def __init__(self, idom: dict[BasicBlock, BasicBlock], root: BasicBlock) -> None:
+        self.idom = idom
+        self.root = root
+
+    def dominates(self, a: BasicBlock, b: BasicBlock) -> bool:
+        """True if ``a`` dominates ``b`` (reflexive)."""
+        node: BasicBlock | None = b
+        while node is not None:
+            if node is a:
+                return True
+            if node is self.root:
+                return False
+            node = self.idom.get(node)
+        return False
+
+    def children(self) -> dict[BasicBlock, list[BasicBlock]]:
+        out: dict[BasicBlock, list[BasicBlock]] = {b: [] for b in self.idom}
+        for b, d in self.idom.items():
+            if b is not self.root:
+                out.setdefault(d, []).append(b)
+        return out
+
+
+def _compute_idom(
+    nodes: list[BasicBlock],
+    preds: dict[BasicBlock, list[BasicBlock]],
+    entry: BasicBlock,
+) -> dict[BasicBlock, BasicBlock]:
+    """Cooper–Harvey–Kennedy iterative dominator computation.
+
+    ``nodes`` must be in reverse postorder starting at ``entry``.
+    """
+    index = {b: i for i, b in enumerate(nodes)}
+    idom: dict[BasicBlock, BasicBlock] = {entry: entry}
+
+    def intersect(a: BasicBlock, b: BasicBlock) -> BasicBlock:
+        while a is not b:
+            while index[a] > index[b]:
+                a = idom[a]
+            while index[b] > index[a]:
+                b = idom[b]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for b in nodes:
+            if b is entry:
+                continue
+            candidates = [p for p in preds.get(b, []) if p in idom]
+            if not candidates:
+                continue
+            new_idom = candidates[0]
+            for p in candidates[1:]:
+                new_idom = intersect(p, new_idom)
+            if idom.get(b) is not new_idom:
+                idom[b] = new_idom
+                changed = True
+    return idom
+
+
+def dominator_tree(cfg: CFG) -> DominatorTree:
+    """Dominator tree of the forward CFG."""
+    rpo = cfg.reverse_postorder()
+    idom = _compute_idom(rpo, cfg.preds, cfg.entry)
+    return DominatorTree(idom, cfg.entry)
+
+
+class _VirtualExit(BasicBlock):
+    """Synthetic sink joining all exit blocks for post-dominance."""
+
+    def __init__(self) -> None:
+        super().__init__("virtual_exit")
+
+
+def postdominator_tree(cfg: CFG) -> tuple[DominatorTree, BasicBlock]:
+    """Post-dominator tree, computed as dominators of the reversed CFG
+    rooted at a virtual exit.  Returns (tree, virtual_exit)."""
+    vexit = _VirtualExit()
+    exits = cfg.exit_blocks()
+    reachable = cfg.reachable()
+
+    # Reversed edges: succs become preds and vice versa; every real exit
+    # gains an edge to the virtual exit.
+    rev_succs: dict[BasicBlock, list[BasicBlock]] = {vexit: list(exits)}
+    rev_preds: dict[BasicBlock, list[BasicBlock]] = {vexit: []}
+    for b in reachable:
+        rev_succs[b] = list(cfg.preds[b])
+        rev_preds[b] = list(cfg.succs[b])
+        if b in exits:
+            rev_preds[b].append(vexit)
+
+    # Reverse postorder of the reversed graph from the virtual exit.
+    seen: set[BasicBlock] = set()
+    order: list[BasicBlock] = []
+    stack: list[tuple[BasicBlock, int]] = [(vexit, 0)]
+    seen.add(vexit)
+    while stack:
+        b, i = stack[-1]
+        succs = rev_succs.get(b, [])
+        if i < len(succs):
+            stack[-1] = (b, i + 1)
+            s = succs[i]
+            if s not in seen:
+                seen.add(s)
+                stack.append((s, 0))
+        else:
+            order.append(b)
+            stack.pop()
+    order.reverse()
+
+    idom = _compute_idom(order, rev_preds, vexit)
+    return DominatorTree(idom, vexit), vexit
+
+
+def control_dependence(cfg: CFG) -> dict[BasicBlock, set[BasicBlock]]:
+    """Maps each block B to the set of blocks it is control-dependent on.
+
+    B is control dependent on A iff A has successors S1, S2 such that B
+    post-dominates S1 but not A itself (Ferrante–Ottenstein–Warren).
+    Computed via post-dominance frontiers: for each edge (A → S) where A
+    does not post-dominate... walk S up the post-dominator tree until
+    reaching ipostdom(A), marking each visited block as dependent on A.
+    """
+    pdt, vexit = postdominator_tree(cfg)
+    deps: dict[BasicBlock, set[BasicBlock]] = {b: set() for b in cfg.blocks}
+    for a in cfg.blocks:
+        succs = cfg.succs[a]
+        if len(succs) < 2:
+            continue
+        a_ipdom = pdt.idom.get(a)
+        for s in succs:
+            runner: BasicBlock | None = s
+            while runner is not None and runner is not a_ipdom and runner is not vexit:
+                if runner in deps:
+                    deps[runner].add(a)
+                if runner is a:
+                    # Loop edge: the branch controls its own block too.
+                    break
+                runner = pdt.idom.get(runner)
+    return deps

@@ -1,0 +1,192 @@
+"""IR containers: Module, Function, BasicBlock, GlobalVar.
+
+A :class:`Module` is the unit the whole pipeline operates on — the
+analogue of an LLVM bitcode file with debug info.  It owns the global
+variables (Chapel module-level variables — the ``main`` context of the
+paper's blame tables), the record type table, and all functions
+(including compiler-outlined parallel-loop bodies, the analogue of
+Chapel's ``coforall_fn_chplNN`` functions visible in paper Fig. 4).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from ..chapel.tokens import SourceLocation
+from ..chapel.types import RecordType, Type
+from .instructions import Instruction, Register
+
+
+@dataclass
+class GlobalVar:
+    """A module-level variable (static storage).
+
+    ``is_config`` marks Chapel ``config`` variables whose initializer may
+    be overridden per run.  ``is_temp`` marks compiler-generated globals
+    (hidden in reports, tracked in data flow).
+    """
+
+    name: str
+    type: Type
+    loc: SourceLocation
+    is_config: bool = False
+    is_temp: bool = False
+
+
+class BasicBlock:
+    """A straight-line instruction sequence ending in one terminator."""
+
+    _counter = itertools.count()
+
+    def __init__(self, label: str | None = None) -> None:
+        self.label = label or f"bb{next(BasicBlock._counter)}"
+        self.instructions: list[Instruction] = []
+        self.function: "Function | None" = None
+
+    def append(self, instr: Instruction) -> Instruction:
+        self.instructions.append(instr)
+        instr.parent = self
+        return instr
+
+    @property
+    def terminator(self) -> Instruction | None:
+        if self.instructions and self.instructions[-1].is_terminator():
+            return self.instructions[-1]
+        return None
+
+    def successors(self) -> list["BasicBlock"]:
+        term = self.terminator
+        if term is None:
+            return []
+        from .instructions import Br, CBr
+
+        if isinstance(term, Br):
+            return [term.target]  # type: ignore[list-item]
+        if isinstance(term, CBr):
+            # A cbr with identical arms has one successor.
+            if term.then_block is term.else_block:
+                return [term.then_block]  # type: ignore[list-item]
+            return [term.then_block, term.else_block]  # type: ignore[list-item]
+        return []
+
+    def __str__(self) -> str:
+        return self.label
+
+    def __repr__(self) -> str:
+        return f"<BasicBlock {self.label}: {len(self.instructions)} instrs>"
+
+
+@dataclass
+class FunctionParam:
+    """A formal of an IR function.
+
+    ``intent`` "ref" formals receive an *address*; "in" formals receive
+    a value.  Ref formals (plus globals and return values) are the
+    paper's *exit variables* — the carriers of interprocedural blame.
+    """
+
+    name: str
+    type: Type
+    intent: str  # "in" or "ref"
+    register: Register
+    is_temp: bool = False
+
+
+class Function:
+    """One IR function.
+
+    ``source_name`` keeps the user-visible name even when passes rename
+    the linkage name (what ``--fast`` does to Chapel functions, breaking
+    the source mapping — paper §V footnote 1).  ``outlined_from``
+    records, for generated parallel-loop bodies, the function whose
+    loop was outlined; post-mortem stack gluing uses it.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        params: list[FunctionParam],
+        return_type: Type,
+        loc: SourceLocation,
+        source_name: str | None = None,
+        outlined_from: str | None = None,
+        is_artificial: bool = False,
+    ) -> None:
+        self.name = name
+        self.params = params
+        self.return_type = return_type
+        self.loc = loc
+        self.source_name = source_name or name
+        self.outlined_from = outlined_from
+        #: Artificial functions carry no user code (e.g. global init).
+        self.is_artificial = is_artificial
+        self.blocks: list[BasicBlock] = []
+
+    @property
+    def entry(self) -> BasicBlock:
+        return self.blocks[0]
+
+    def add_block(self, block: BasicBlock) -> BasicBlock:
+        block.function = self
+        self.blocks.append(block)
+        return block
+
+    def instructions(self):
+        """Iterates all instructions in block order."""
+        for block in self.blocks:
+            yield from block.instructions
+
+    def find_instruction(self, iid: int) -> Instruction | None:
+        for instr in self.instructions():
+            if instr.iid == iid:
+                return instr
+        return None
+
+    def __repr__(self) -> str:
+        return f"<Function {self.name} ({len(self.blocks)} blocks)>"
+
+
+class Module:
+    """A compiled program: globals, record types, and functions.
+
+    ``global_init`` is the artificial function that runs module-level
+    initializers before ``main`` (Chapel's module initialization order).
+    """
+
+    def __init__(self, name: str = "module") -> None:
+        self.name = name
+        self.globals: dict[str, GlobalVar] = {}
+        self.records: dict[str, RecordType] = {}
+        self.functions: dict[str, Function] = {}
+        self.global_init: Function | None = None
+        self.main: Function | None = None
+        #: Source text by filename, for report snippets.
+        self.sources: dict[str, str] = {}
+
+    def add_global(self, g: GlobalVar) -> GlobalVar:
+        self.globals[g.name] = g
+        return g
+
+    def add_function(self, f: Function) -> Function:
+        self.functions[f.name] = f
+        return f
+
+    def get_function(self, name: str) -> Function | None:
+        return self.functions.get(name)
+
+    def all_instructions(self):
+        for f in self.functions.values():
+            for instr in f.instructions():
+                yield f, instr
+
+    def instruction_index(self) -> dict[int, tuple[Function, Instruction]]:
+        """iid → (function, instruction): the "symbol table" that
+        post-mortem processing uses to resolve sampled addresses."""
+        return {instr.iid: (f, instr) for f, instr in self.all_instructions()}
+
+    def __repr__(self) -> str:
+        return (
+            f"<Module {self.name}: {len(self.functions)} functions, "
+            f"{len(self.globals)} globals>"
+        )

@@ -1,0 +1,54 @@
+"""Textual IR dump — the analogue of ``llvm-dis`` output.
+
+Used by tests (golden snippets), by debugging, and by the examples to
+show users what the lowered program looks like.
+"""
+
+from __future__ import annotations
+
+import io
+
+from .module import Function, Module
+
+
+def print_function(f: Function, out: io.TextIOBase | None = None) -> str:
+    buf = io.StringIO()
+    params = ", ".join(
+        f"{p.intent + ' ' if p.intent == 'ref' else ''}{p.register}: {p.type}"
+        for p in f.params
+    )
+    tags = []
+    if f.outlined_from:
+        tags.append(f"outlined from {f.outlined_from}")
+    if f.is_artificial:
+        tags.append("artificial")
+    suffix = f"  ; {', '.join(tags)}" if tags else ""
+    buf.write(f"define {f.return_type} {f.name}({params}) {{{suffix}\n")
+    for block in f.blocks:
+        buf.write(f"{block.label}:\n")
+        for instr in block.instructions:
+            buf.write(f"  [{instr.iid:>4}] {instr}   ; line {instr.loc.line}\n")
+    buf.write("}\n")
+    text = buf.getvalue()
+    if out is not None:
+        out.write(text)
+    return text
+
+
+def print_module(module: Module, out: io.TextIOBase | None = None) -> str:
+    buf = io.StringIO()
+    buf.write(f"; module {module.name}\n")
+    for name, rec in module.records.items():
+        fields = ", ".join(f"{fn}: {ft}" for fn, ft in rec.fields)
+        buf.write(f"record {name} {{ {fields} }}\n")
+    for g in module.globals.values():
+        cfg = " config" if g.is_config else ""
+        buf.write(f"global @{g.name}: {g.type}{cfg}\n")
+    buf.write("\n")
+    for f in module.functions.values():
+        buf.write(print_function(f))
+        buf.write("\n")
+    text = buf.getvalue()
+    if out is not None:
+        out.write(text)
+    return text

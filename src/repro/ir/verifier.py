@@ -1,0 +1,106 @@
+"""IR structural verifier.
+
+Run after lowering and after every optimization pass (the ``--fast``
+pipeline) to catch malformed IR early: the blame analysis and the
+interpreter both assume these invariants.
+"""
+
+from __future__ import annotations
+
+from .instructions import Alloca, Br, CBr, Instruction, Register, Ret
+from .module import Function, Module
+
+
+class VerificationError(Exception):
+    """Raised when the IR violates a structural invariant."""
+
+
+def verify_function(f: Function, module: Module | None = None) -> None:
+    if not f.blocks:
+        raise VerificationError(f"{f.name}: function has no blocks")
+
+    seen_iids: set[int] = set()
+    defined_regs: set[int] = {p.register.rid for p in f.params}
+    block_set = set(f.blocks)
+
+    for block in f.blocks:
+        if not block.instructions:
+            raise VerificationError(f"{f.name}/{block.label}: empty block")
+        term = block.instructions[-1]
+        if not term.is_terminator():
+            raise VerificationError(
+                f"{f.name}/{block.label}: block does not end in a terminator "
+                f"(last is {term.opname})"
+            )
+        for i, instr in enumerate(block.instructions):
+            if instr.iid in seen_iids:
+                raise VerificationError(
+                    f"{f.name}: duplicate instruction id {instr.iid}"
+                )
+            seen_iids.add(instr.iid)
+            if instr.is_terminator() and i != len(block.instructions) - 1:
+                raise VerificationError(
+                    f"{f.name}/{block.label}: terminator {instr.opname} "
+                    f"in mid-block position {i}"
+                )
+            if instr.result is not None:
+                if instr.result.rid in defined_regs:
+                    raise VerificationError(
+                        f"{f.name}: register {instr.result} defined twice"
+                    )
+                defined_regs.add(instr.result.rid)
+        if isinstance(term, Br) and term.target not in block_set:
+            raise VerificationError(
+                f"{f.name}/{block.label}: branch to foreign block "
+                f"{getattr(term.target, 'label', term.target)}"
+            )
+        if isinstance(term, CBr):
+            for t in (term.then_block, term.else_block):
+                if t not in block_set:
+                    raise VerificationError(
+                        f"{f.name}/{block.label}: cbr to foreign block "
+                        f"{getattr(t, 'label', t)}"
+                    )
+
+    # Every register operand must be defined somewhere in this function
+    # (we don't enforce dominance — the -O0 style lowering guarantees it
+    # structurally, and allocas all sit in the entry block).
+    for block in f.blocks:
+        for instr in block.instructions:
+            for op in instr.operands():
+                if isinstance(op, Register) and op.rid not in defined_regs:
+                    raise VerificationError(
+                        f"{f.name}: use of undefined register {op} in "
+                        f"[{instr.iid}] {instr}"
+                    )
+
+    # Non-void functions must return a value on every ret.
+    from ..chapel.types import VoidType
+
+    if not isinstance(f.return_type, VoidType):
+        for block in f.blocks:
+            term = block.instructions[-1]
+            if isinstance(term, Ret) and term.value is None:
+                raise VerificationError(
+                    f"{f.name}: ret without value in non-void function"
+                )
+
+
+def verify_module(module: Module) -> None:
+    """Verifies every function plus inter-function references."""
+    for f in module.functions.values():
+        verify_function(f, module)
+    from .instructions import Call, SpawnJoin
+
+    for f, instr in module.all_instructions():
+        if isinstance(instr, Call) and not instr.is_builtin:
+            if instr.callee not in module.functions:
+                raise VerificationError(
+                    f"{f.name}: call to unknown function {instr.callee!r}"
+                )
+        if isinstance(instr, SpawnJoin):
+            if instr.outlined not in module.functions:
+                raise VerificationError(
+                    f"{f.name}: spawn of unknown outlined function "
+                    f"{instr.outlined!r}"
+                )

@@ -1,0 +1,29 @@
+"""Locales — Chapel's abstraction of target-architecture units.
+
+The paper works on a single locale ("In this work, we focus on the
+single locale", §II.B); multi-locale tracking through GASNet is its
+future work.  We model the same: one :class:`Locale` with a configurable
+task-parallelism width, but keep the type plural-ready so the blame
+aggregation layer (`repro.blame.aggregate`) can merge per-locale results
+the way the paper's step 4 describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Locale:
+    """One compute node."""
+
+    locale_id: int
+    max_task_par: int = 12  # the paper's 12-core SMP Xeon
+
+    @property
+    def name(self) -> str:
+        return f"LOCALE{self.locale_id}"
+
+
+def single_locale(max_task_par: int = 12) -> Locale:
+    return Locale(0, max_task_par)

@@ -1,0 +1,115 @@
+"""Raw-sample dataset persistence.
+
+The real tool writes the step-2 artifact ("the sizes of the datasets
+generated during runtime are 6 MB to 20 MB") to disk and runs step 3
+post-mortem, possibly elsewhere — it is "embarrassingly parallel for
+multi-locale cases".  This module serializes a monitor's sample stream
+to JSONL with a header recording the program identity (source SHA-256)
+and sampling configuration, so a separate process can re-do the
+analysis: recompile the source with fresh deterministic instruction
+ids, check the hash, and attribute.
+
+Format: line 1 is a header object; each further line is one sample.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+
+from .records import RawSample
+
+FORMAT_VERSION = 1
+
+
+def source_digest(source: str) -> str:
+    return hashlib.sha256(source.encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class DatasetHeader:
+    """Identity and configuration of a recorded run."""
+
+    program: str
+    source_sha256: str
+    threshold: int
+    num_threads: int
+    locale_id: int = 0
+    version: int = FORMAT_VERSION
+
+    def to_json(self) -> dict:
+        return {
+            "version": self.version,
+            "program": self.program,
+            "source_sha256": self.source_sha256,
+            "threshold": self.threshold,
+            "num_threads": self.num_threads,
+            "locale_id": self.locale_id,
+        }
+
+    @classmethod
+    def from_json(cls, d: dict) -> "DatasetHeader":
+        if d.get("version") != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported dataset version {d.get('version')!r}"
+            )
+        return cls(
+            program=d["program"],
+            source_sha256=d["source_sha256"],
+            threshold=d["threshold"],
+            num_threads=d["num_threads"],
+            locale_id=d.get("locale_id", 0),
+        )
+
+
+def _sample_to_json(s: RawSample) -> dict:
+    out = {
+        "i": s.index,
+        "t": s.thread_id,
+        "k": s.task_id,
+        "s": [[f, iid] for f, iid in s.stack],
+        "ip": s.leaf_iid,
+    }
+    if s.is_idle:
+        out["idle"] = True
+    if s.spawn_tag is not None:
+        out["tag"] = s.spawn_tag
+        out["pre"] = [[f, iid] for f, iid in (s.pre_spawn_stack or ())]
+    return out
+
+
+def _sample_from_json(d: dict) -> RawSample:
+    return RawSample(
+        index=d["i"],
+        thread_id=d["t"],
+        task_id=d["k"],
+        stack=tuple((f, iid) for f, iid in d["s"]),
+        leaf_iid=d["ip"],
+        spawn_tag=d.get("tag"),
+        pre_spawn_stack=(
+            tuple((f, iid) for f, iid in d["pre"]) if "tag" in d else None
+        ),
+        is_idle=d.get("idle", False),
+    )
+
+
+def save_samples(
+    path: str, header: DatasetHeader, samples: list[RawSample]
+) -> None:
+    """Writes a run's raw samples as JSONL (header line + one per sample)."""
+    with open(path, "w") as f:
+        f.write(json.dumps(header.to_json()) + "\n")
+        for s in samples:
+            f.write(json.dumps(_sample_to_json(s)) + "\n")
+
+
+def load_samples(path: str) -> tuple[DatasetHeader, list[RawSample]]:
+    """Reads a dataset back: (header, samples)."""
+    with open(path) as f:
+        first = f.readline()
+        if not first:
+            raise ValueError(f"{path}: empty dataset")
+        header = DatasetHeader.from_json(json.loads(first))
+        samples = [_sample_from_json(json.loads(line)) for line in f if line.strip()]
+    return header, samples

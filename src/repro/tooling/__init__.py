@@ -1,0 +1,5 @@
+"""High-level tool facade: the :class:`Profiler` pipeline and the CLI."""
+
+from .profiler import ProfileResult, Profiler, run_only
+
+__all__ = ["ProfileResult", "Profiler", "run_only"]

@@ -1,0 +1,106 @@
+"""Offline analysis: post-mortem processing of a saved sample dataset.
+
+The real tool's step 3 runs after (and separately from) execution: raw
+address datasets are read back and combined with the static analysis.
+This command reproduces that two-process workflow:
+
+    # process 1: record
+    python -m repro.tooling.cli prog.chpl --save-samples run.jsonl
+
+    # process 2 (anywhere): analyze
+    python -m repro.tooling.analyze run.jsonl --source prog.chpl --view all
+
+The dataset header carries the source's SHA-256; analysis recompiles
+the source with fresh deterministic instruction ids and refuses to
+proceed on a hash mismatch (the ids would be meaningless).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..blame.attribution import BlameAttributor
+from ..blame.postmortem import process_samples
+from ..blame.report import BlameReport, RunStats, build_rows
+from ..blame.static_info import ModuleBlameInfo
+from ..compiler.lower import compile_source
+from ..sampling.dataset import load_samples, source_digest
+from ..views.code_centric import render_code_centric
+from ..views.data_centric import render_data_centric
+from ..views.hybrid import render_hybrid
+
+
+class DatasetMismatch(Exception):
+    """The dataset was recorded from a different source text."""
+
+
+def analyze_dataset(
+    dataset_path: str,
+    source: str,
+    source_name: str = "program.chpl",
+    include_temps: bool = False,
+    min_blame: float = 0.0,
+):
+    """Re-runs steps 1+3 over a saved dataset; returns
+    (module, postmortem, report)."""
+    header, samples = load_samples(dataset_path)
+    digest = source_digest(source)
+    if digest != header.source_sha256:
+        raise DatasetMismatch(
+            f"dataset {dataset_path} was recorded from source "
+            f"{header.source_sha256[:12]}…, but the given source hashes "
+            f"to {digest[:12]}…"
+        )
+    module = compile_source(source, source_name, fresh_ids=True)
+    static_info = ModuleBlameInfo(module)
+    pm = process_samples(module, samples)
+    attribution = BlameAttributor(static_info).attribute(pm.instances)
+    stats = RunStats(
+        total_raw_samples=len(samples),
+        user_samples=pm.n_user,
+        runtime_samples=len(pm.runtime_samples),
+    )
+    report = BlameReport(
+        program=header.program,
+        rows=build_rows(attribution, min_blame=min_blame, include_temps=include_temps),
+        stats=stats,
+        locale_id=header.locale_id,
+    )
+    return module, pm, report
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="repro-analyze",
+        description="Post-mortem blame analysis of a saved sample dataset",
+    )
+    ap.add_argument("dataset", help="JSONL dataset from --save-samples")
+    ap.add_argument("--source", required=True, help="the recorded program's source file")
+    ap.add_argument("--view", choices=["data", "code", "hybrid", "all"], default="data")
+    ap.add_argument("--top", type=int, default=20)
+    args = ap.parse_args(argv)
+
+    with open(args.source) as f:
+        source = f.read()
+    try:
+        module, pm, report = analyze_dataset(args.dataset, source, args.source)
+    except DatasetMismatch as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    if args.view in ("data", "all"):
+        print(render_data_centric(report, top=args.top))
+        print()
+    if args.view in ("code", "all"):
+        print(render_code_centric(module, pm, top=args.top))
+        print()
+    if args.view in ("hybrid", "all"):
+        print(render_hybrid(report))
+        print()
+    print(f"[{pm.n_raw} samples loaded, {pm.n_user} attributed]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

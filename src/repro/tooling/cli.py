@@ -1,0 +1,137 @@
+"""Command-line entry point: profile a mini-Chapel source file.
+
+Usage::
+
+    python -m repro.tooling.cli program.chpl [--threads N] [--threshold P]
+        [--fast] [--view data|code|hybrid|all] [--config name=value ...]
+
+Prints the requested view(s) of the blame profile — the textual
+equivalent of the paper's GUI (Fig. 3).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..views.code_centric import render_code_centric
+from ..views.data_centric import render_data_centric
+from ..views.hybrid import render_hybrid
+from .profiler import Profiler
+
+
+def _parse_config(pairs: list[str]) -> dict[str, object]:
+    out: dict[str, object] = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"bad --config entry {pair!r} (want name=value)")
+        name, raw = pair.split("=", 1)
+        value: object
+        try:
+            value = int(raw)
+        except ValueError:
+            try:
+                value = float(raw)
+            except ValueError:
+                value = {"true": True, "false": False}.get(raw.lower(), raw)
+        out[name] = value
+    return out
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="repro-profile",
+        description="Data-centric (variable blame) profiler for mini-Chapel",
+    )
+    ap.add_argument("source", help="mini-Chapel source file")
+    ap.add_argument("--threads", type=int, default=12, help="worker threads")
+    ap.add_argument("--threshold", type=int, default=20011, help="PMU overflow threshold")
+    ap.add_argument("--fast", action="store_true", help="compile with --fast pipeline")
+    ap.add_argument(
+        "--view",
+        choices=["data", "code", "hybrid", "all"],
+        default="data",
+        help="which window to print",
+    )
+    ap.add_argument("--top", type=int, default=20, help="rows to display")
+    ap.add_argument(
+        "--config", nargs="*", default=[], help="config overrides: name=value"
+    )
+    ap.add_argument(
+        "--show-output", action="store_true", help="echo program writeln output"
+    )
+    ap.add_argument(
+        "--save-samples",
+        metavar="PATH",
+        help="write the raw sample dataset (JSONL) for offline analysis "
+        "with python -m repro.tooling.analyze",
+    )
+    ap.add_argument(
+        "--html",
+        metavar="PATH",
+        help="also write a self-contained HTML report (the GUI analogue)",
+    )
+    args = ap.parse_args(argv)
+
+    with open(args.source) as f:
+        source = f.read()
+
+    if args.save_samples:
+        # Deterministic ids so the dataset is re-analyzable offline.
+        from ..compiler.lower import compile_source
+
+        program = compile_source(source, args.source, fresh_ids=True)
+    else:
+        program = source
+
+    profiler = Profiler(
+        program,
+        filename=args.source,
+        config=_parse_config(args.config),
+        num_threads=args.threads,
+        threshold=args.threshold,
+        fast=args.fast,
+    )
+    result = profiler.profile()
+
+    if args.save_samples:
+        from ..sampling.dataset import DatasetHeader, save_samples, source_digest
+
+        header = DatasetHeader(
+            program=args.source,
+            source_sha256=source_digest(source),
+            threshold=args.threshold,
+            num_threads=args.threads,
+        )
+        save_samples(args.save_samples, header, result.monitor.samples)
+        print(f"[raw samples saved to {args.save_samples}]")
+
+    if args.show_output:
+        for line in result.run_result.output:
+            print(line)
+        print()
+
+    if args.view in ("data", "all"):
+        print(render_data_centric(result.report, top=args.top))
+        print()
+    if args.view in ("code", "all"):
+        print(render_code_centric(result.module, result.postmortem, top=args.top))
+        print()
+    if args.view in ("hybrid", "all"):
+        print(render_hybrid(result.report))
+        print()
+    if args.html:
+        from ..views.html import write_html_report
+
+        write_html_report(args.html, result, top=args.top)
+        print(f"[HTML report written to {args.html}]")
+    print(
+        f"[run: {result.run_result.wall_seconds:.4f}s simulated, "
+        f"{result.monitor.n_samples} samples "
+        f"({result.postmortem.n_user} user)]"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

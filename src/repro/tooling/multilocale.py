@@ -1,0 +1,74 @@
+"""Multi-locale profiling harness (paper step 3/4 + future work §VI).
+
+The paper's experiments are single-locale, but its pipeline is designed
+for more: step 3 is "embarrassingly parallel for multi-locale cases"
+and step 4 aggregates per-node results.  This harness simulates an
+L-locale run the way an SPMD launcher would: the *same program* runs
+once per locale, parameterized by the config constants ``localeId`` and
+``numLocales`` (the program partitions its own iteration space, as
+Chapel block distributions do), and the per-locale blame reports merge
+into one program-wide report.
+
+This is a simulation of the *aggregation* path only — it does not model
+inter-locale communication (tracking data through GASNet is the paper's
+future work, and ours).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..blame.aggregate import merge_reports
+from ..blame.report import BlameReport
+from .profiler import ProfileResult, Profiler
+
+
+@dataclass
+class MultiLocaleResult:
+    """Per-locale profiles plus the merged program-wide report."""
+
+    per_locale: list[ProfileResult]
+    merged: BlameReport
+
+    @property
+    def num_locales(self) -> int:
+        return len(self.per_locale)
+
+
+def profile_locales(
+    source: str,
+    num_locales: int,
+    filename: str = "program.chpl",
+    config: dict[str, object] | None = None,
+    num_threads: int = 12,
+    threshold: int = 20011,
+    locale_id_config: str = "localeId",
+    num_locales_config: str = "numLocales",
+) -> MultiLocaleResult:
+    """Profiles ``source`` once per locale and merges the reports.
+
+    The program must declare ``config const localeId: int`` and
+    ``config const numLocales: int`` (names overridable) and partition
+    its own work by them.
+    """
+    if num_locales < 1:
+        raise ValueError("need at least one locale")
+    base = dict(config or {})
+    per_locale: list[ProfileResult] = []
+    reports: list[BlameReport] = []
+    for locale in range(num_locales):
+        cfg = dict(base)
+        cfg[locale_id_config] = locale
+        cfg[num_locales_config] = num_locales
+        result = Profiler(
+            source,
+            filename=filename,
+            config=cfg,
+            num_threads=num_threads,
+            threshold=threshold,
+        ).profile()
+        result.report.locale_id = locale
+        per_locale.append(result)
+        reports.append(result.report)
+    merged = merge_reports(reports, program=filename)
+    return MultiLocaleResult(per_locale=per_locale, merged=merged)

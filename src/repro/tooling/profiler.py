@@ -1,0 +1,175 @@
+"""The end-to-end tool: the four-step pipeline of paper Fig. 2.
+
+1. static analysis  → :class:`~repro.blame.ModuleBlameInfo`
+2. execution w/ sampling → :class:`~repro.sampling.Monitor` raw samples
+3. post-mortem processing → instances → attribution
+4. data presentation → :class:`~repro.blame.BlameReport` (+ views)
+
+Typical use::
+
+    from repro.tooling import Profiler
+    result = Profiler(source, config={"n": 8}).profile()
+    for row in result.report.top(5):
+        print(row.name, f"{row.percent:.1f}%", row.context)
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..blame.attribution import AttributionResult, BlameAttributor
+from ..blame.postmortem import PostmortemResult, process_samples
+from ..blame.report import BlameReport, RunStats, build_rows
+from ..blame.static_info import ModuleBlameInfo
+from ..compiler.lower import compile_source
+from ..ir.module import Module
+from ..runtime.costmodel import CostModel
+from ..runtime.interpreter import Interpreter, RunResult
+from ..sampling.monitor import Monitor
+from ..sampling.pmu import DEFAULT_THRESHOLD, PMUConfig
+
+
+@dataclass
+class ProfileResult:
+    """Everything one profiled run produced."""
+
+    module: Module
+    static_info: ModuleBlameInfo
+    monitor: Monitor
+    run_result: RunResult
+    postmortem: PostmortemResult
+    attribution: AttributionResult
+    report: BlameReport
+    #: The interpreter that executed the run (exposes globals_store and
+    #: the heap — the HPCToolkit baseline reads allocation sizes there).
+    interpreter: "Interpreter | None" = None
+
+    @property
+    def wall_seconds(self) -> float:
+        return self.run_result.wall_seconds
+
+
+class Profiler:
+    """Configurable front door to the blame pipeline.
+
+    Parameters mirror the paper's experimental knobs: the PMU overflow
+    ``threshold``, the worker-thread count (their 12-core Xeon), and the
+    compilation mode (``fast=True`` approximates ``--fast``; the paper
+    profiles *without* it — see §V's discussion of why).
+    """
+
+    def __init__(
+        self,
+        source: str | Module,
+        filename: str = "program.chpl",
+        config: dict[str, object] | None = None,
+        num_threads: int = 12,
+        threshold: int = DEFAULT_THRESHOLD,
+        cost_model: CostModel | None = None,
+        fast: bool = False,
+        include_temps: bool = False,
+        min_blame: float = 0.0,
+        blame_options: "object | None" = None,
+        skid: int = 0,
+        skid_compensation: bool = False,
+    ) -> None:
+        if isinstance(source, Module):
+            self.module = source
+            self.program_name = source.name
+        else:
+            self.module = compile_source(source, filename)
+            self.program_name = filename
+        if fast:
+            from ..compiler.passes import run_fast_pipeline
+
+            run_fast_pipeline(self.module)
+        self.config = config or {}
+        self.num_threads = num_threads
+        self.threshold = threshold
+        self.cost_model = cost_model
+        self.include_temps = include_temps
+        self.min_blame = min_blame
+        self.blame_options = blame_options
+        self.skid = skid
+        self.skid_compensation = skid_compensation
+
+    def profile(self) -> ProfileResult:
+        # Step 1 — static analysis (pre-run, sample-independent).
+        static_info = ModuleBlameInfo(self.module, options=self.blame_options)
+
+        # Step 2 — execution under the monitor.
+        monitor = Monitor(PMUConfig(threshold=self.threshold))
+        interp = Interpreter(
+            self.module,
+            config=self.config,
+            num_threads=self.num_threads,
+            cost_model=self.cost_model,
+            monitor=monitor,
+            sample_threshold=self.threshold,
+            skid=self.skid,
+            skid_compensation=self.skid_compensation,
+        )
+        run_result = interp.run()
+
+        # Step 3 — post-mortem processing.
+        t0 = time.perf_counter()
+        pm = process_samples(
+            self.module, monitor.samples, options=static_info.options
+        )
+        attribution = BlameAttributor(static_info).attribute(pm.instances)
+        postmortem_seconds = time.perf_counter() - t0
+
+        # Step 4 — report assembly.
+        stats = RunStats(
+            total_raw_samples=monitor.n_samples,
+            user_samples=pm.n_user,
+            runtime_samples=len(pm.runtime_samples),
+            wall_seconds=run_result.wall_seconds,
+            dataset_bytes=monitor.dataset_size_bytes(),
+            stackwalk_cycles=monitor.overhead.stackwalk_cycles_total,
+            postmortem_seconds=postmortem_seconds,
+        )
+        report = BlameReport(
+            program=self.program_name,
+            rows=build_rows(
+                attribution,
+                min_blame=self.min_blame,
+                include_temps=self.include_temps,
+            ),
+            stats=stats,
+        )
+        return ProfileResult(
+            module=self.module,
+            static_info=static_info,
+            monitor=monitor,
+            run_result=run_result,
+            postmortem=pm,
+            attribution=attribution,
+            report=report,
+            interpreter=interp,
+        )
+
+
+def run_only(
+    source: str | Module,
+    filename: str = "program.chpl",
+    config: dict[str, object] | None = None,
+    num_threads: int = 12,
+    cost_model: CostModel | None = None,
+    fast: bool = False,
+) -> RunResult:
+    """Executes a program without profiling (for timing comparisons —
+    the paper's original-vs-optimized speedup tables)."""
+    if isinstance(source, Module):
+        module = source
+    else:
+        module = compile_source(source, filename)
+    if fast:
+        from ..compiler.passes import run_fast_pipeline
+
+        run_fast_pipeline(module)
+    interp = Interpreter(
+        module, config=config, num_threads=num_threads, cost_model=cost_model
+    )
+    return interp.run()

@@ -1,0 +1,22 @@
+"""Data presentation (paper §IV.D): the GUI's three windows as text —
+flat data-centric, code-centric, and the hybrid blame-points view."""
+
+from .code_centric import FunctionProfile, build_code_centric, render_code_centric
+from .data_centric import render_data_centric
+from .html import render_html_report, write_html_report
+from .hybrid import BlamePoint, build_blame_points, render_hybrid
+from .tables import pct, render_table
+
+__all__ = [
+    "BlamePoint",
+    "FunctionProfile",
+    "build_blame_points",
+    "build_code_centric",
+    "pct",
+    "render_code_centric",
+    "render_data_centric",
+    "render_html_report",
+    "write_html_report",
+    "render_hybrid",
+    "render_table",
+]

@@ -1,0 +1,39 @@
+"""Flat data-centric view — the GUI's default window (paper §IV.D).
+
+"It provides a flat view of all the variables defined in the program,
+ranked in descending order by the percentage of blame they are
+assigned.  We show the performance data for each variable along with
+its type and context of definition."
+"""
+
+from __future__ import annotations
+
+from ..blame.report import BlameReport
+from .tables import pct, render_table
+
+
+def render_data_centric(
+    report: BlameReport,
+    top: int | None = None,
+    min_blame: float = 0.0,
+    include_paths: bool = True,
+) -> str:
+    rows = []
+    for r in report.rows:
+        if r.blame < min_blame:
+            continue
+        if r.is_path and not include_paths:
+            continue
+        rows.append([r.name, r.type_str, pct(r.blame), r.context])
+        if top is not None and len(rows) >= top:
+            break
+    title = (
+        f"Data-centric view: {report.program} "
+        f"({report.stats.user_samples} samples)"
+    )
+    return render_table(
+        ["Name", "Type", "Blame", "Context"],
+        rows,
+        title=title,
+        aligns=["l", "l", "r", "l"],
+    )

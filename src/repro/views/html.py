@@ -1,0 +1,128 @@
+"""Static HTML report — the closest analogue of the paper's GUI
+(Fig. 3): the flat data-centric and code-centric windows side by side,
+with the hybrid blame-point view below.
+
+Single self-contained file, no external assets::
+
+    from repro.views.html import write_html_report
+    write_html_report("report.html", result)
+"""
+
+from __future__ import annotations
+
+import html
+
+from ..blame.report import BlameReport
+from .code_centric import build_code_centric
+from .hybrid import build_blame_points
+
+_STYLE = """
+body { font-family: -apple-system, 'Segoe UI', sans-serif; margin: 2em;
+       color: #1a1a2e; background: #fafafa; }
+h1 { font-size: 1.3em; } h2 { font-size: 1.05em; margin-top: 1.4em; }
+.columns { display: flex; gap: 2em; flex-wrap: wrap; }
+.pane { flex: 1; min-width: 24em; }
+table { border-collapse: collapse; width: 100%; font-size: 0.85em; }
+th, td { text-align: left; padding: 0.25em 0.6em; }
+th { border-bottom: 2px solid #444; }
+tr:nth-child(even) { background: #f0f0f4; }
+td.num { text-align: right; font-variant-numeric: tabular-nums; }
+.bar { display: inline-block; height: 0.7em; background: #4a6fa5;
+       vertical-align: baseline; margin-right: 0.4em; }
+.temp { color: #999; }
+footer { margin-top: 2em; font-size: 0.8em; color: #777; }
+"""
+
+
+def _esc(s: object) -> str:
+    return html.escape(str(s))
+
+
+def _blame_rows_html(report: BlameReport, top: int, min_blame: float) -> str:
+    rows = []
+    for r in report.rows:
+        if r.blame < min_blame:
+            continue
+        bar = f'<span class="bar" style="width:{max(1, int(90 * r.blame))}px"></span>'
+        rows.append(
+            "<tr>"
+            f"<td>{_esc(r.name)}</td>"
+            f"<td>{_esc(r.type_str)}</td>"
+            f'<td class="num">{bar}{100 * r.blame:.1f}%</td>'
+            f"<td>{_esc(r.context)}</td>"
+            "</tr>"
+        )
+        if len(rows) >= top:
+            break
+    return "\n".join(rows)
+
+
+def render_html_report(result, top: int = 25, min_blame: float = 0.005) -> str:
+    """Renders a ProfileResult as a self-contained HTML page."""
+    report = result.report
+    profiles = build_code_centric(result.module, result.postmortem)
+    total = result.postmortem.n_user or 1
+
+    code_rows = "\n".join(
+        "<tr>"
+        f"<td>{_esc(p.name)}</td>"
+        f'<td class="num">{p.flat}</td>'
+        f'<td class="num">{100 * p.flat / total:.1f}%</td>'
+        f'<td class="num">{p.cumulative}</td>'
+        f'<td class="num">{100 * p.cumulative / total:.1f}%</td>'
+        "</tr>"
+        for p in profiles[:top]
+    )
+
+    points_html = []
+    for point in build_blame_points(report, min_blame=min_blame)[:8]:
+        inner = "\n".join(
+            "<tr>"
+            f"<td>{_esc(r.name)}</td><td>{_esc(r.type_str)}</td>"
+            f'<td class="num">{100 * r.blame:.1f}%</td></tr>'
+            for r in point.rows[:8]
+        )
+        points_html.append(
+            f"<h2>blame point: {_esc(point.context)}</h2>"
+            "<table><tr><th>Name</th><th>Type</th><th>Blame</th></tr>"
+            f"{inner}</table>"
+        )
+
+    stats = report.stats
+    return f"""<!DOCTYPE html>
+<html><head><meta charset="utf-8">
+<title>blame profile — {_esc(report.program)}</title>
+<style>{_STYLE}</style></head>
+<body>
+<h1>Data-centric profile: {_esc(report.program)}</h1>
+<div class="columns">
+<div class="pane">
+<h2>code-centric (stacks glued)</h2>
+<table>
+<tr><th>Function</th><th>Flat</th><th>Flat%</th><th>Cum</th><th>Cum%</th></tr>
+{code_rows}
+</table>
+</div>
+<div class="pane">
+<h2>data-centric (variable blame)</h2>
+<table>
+<tr><th>Name</th><th>Type</th><th>Blame</th><th>Context</th></tr>
+{_blame_rows_html(report, top, min_blame)}
+</table>
+</div>
+</div>
+{"".join(points_html)}
+<footer>
+{stats.total_raw_samples} raw samples ({stats.user_samples} user,
+{stats.runtime_samples} runtime) · simulated wall
+{stats.wall_seconds:.5f}s · dataset {stats.dataset_bytes} bytes
+</footer>
+</body></html>
+"""
+
+
+def write_html_report(path: str, result, top: int = 25, min_blame: float = 0.005) -> str:
+    text = render_html_report(result, top=top, min_blame=min_blame)
+    with open(path, "w") as f:
+        f.write(text)
+    return path

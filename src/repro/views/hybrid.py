@@ -1,0 +1,64 @@
+"""Hybrid view — "blame points" (paper §IV.D).
+
+"Blame points are points in the program that are deemed to have
+interesting variables; the most common one is the main function, since
+the variables in there cannot be bubbled up any further in the call
+stack."
+
+The view groups the blame rows by their context (the function where the
+variable lives after bubbling), ranks the blame points by total
+attributed samples, and lists each point's variables — code-centric in
+structure, data-centric in content.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..blame.report import BlameReport, BlameRow
+from .tables import pct, render_table
+
+
+@dataclass
+class BlamePoint:
+    """One context (function) and its blamed variables."""
+
+    context: str
+    rows: list[BlameRow]
+
+    @property
+    def total_samples(self) -> int:
+        return sum(r.samples for r in self.rows)
+
+
+def build_blame_points(report: BlameReport, min_blame: float = 0.0) -> list[BlamePoint]:
+    by_context: dict[str, list[BlameRow]] = {}
+    for row in report.rows:
+        if row.blame < min_blame:
+            continue
+        by_context.setdefault(row.context, []).append(row)
+    points = [BlamePoint(ctx, rows) for ctx, rows in by_context.items()]
+    # main first (the canonical blame point), then by weight.
+    points.sort(key=lambda p: (p.context != "main", -p.total_samples, p.context))
+    return points
+
+
+def render_hybrid(
+    report: BlameReport, min_blame: float = 0.005, per_point: int = 8
+) -> str:
+    points = build_blame_points(report, min_blame=min_blame)
+    sections: list[str] = [f"Hybrid view (blame points): {report.program}"]
+    for point in points:
+        rows = [
+            [r.name, r.type_str, pct(r.blame)]
+            for r in point.rows[:per_point]
+        ]
+        sections.append(
+            render_table(
+                ["Name", "Type", "Blame"],
+                rows,
+                title=f"\n== blame point: {point.context} ==",
+                aligns=["l", "l", "r"],
+            )
+        )
+    return "\n".join(sections)

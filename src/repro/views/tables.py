@@ -1,0 +1,38 @@
+"""Plain-text table rendering shared by all views and the benchmark
+harness (the tables print in the same shape as the paper's)."""
+
+from __future__ import annotations
+
+
+def render_table(
+    headers: list[str],
+    rows: list[list[str]],
+    title: str | None = None,
+    aligns: list[str] | None = None,
+) -> str:
+    """Monospace table with column sizing; aligns: 'l' or 'r' per col."""
+    if aligns is None:
+        aligns = ["l"] * len(headers)
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: list[str]) -> str:
+        parts = []
+        for cell, w, a in zip(cells, widths, aligns):
+            parts.append(cell.rjust(w) if a == "r" else cell.ljust(w))
+        return "  ".join(parts).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(headers))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(fmt_row(row))
+    return "\n".join(lines)
+
+
+def pct(fraction: float, digits: int = 1) -> str:
+    return f"{100.0 * fraction:.{digits}f}%"

@@ -1,0 +1,119 @@
+"""Benchmark program tests: every variant compiles, runs, and the
+optimized rewrites are semantics-preserving (identical outputs)."""
+
+import pytest
+
+from repro.bench.programs import clomp, example_fig1, lulesh, minimd
+from repro.compiler.lower import compile_source
+from repro.runtime.interpreter import Interpreter
+
+
+def run(source, config, name, num_threads=8):
+    m = compile_source(source, name)
+    return Interpreter(m, config=config, num_threads=num_threads).run()
+
+
+def non_timing(output):
+    return [l for l in output if not l.startswith("elapsed")]
+
+
+SMALL_MINIMD = {"numBins": 5, "perBin": 4, "steps": 2, "neighborEvery": 1}
+SMALL_CLOMP = {"numParts": 4, "zonesPerPart": 8, "timesteps": 1}
+SMALL_LULESH = {"edgeElems": 2, "maxSteps": 1}
+
+
+class TestMiniMD:
+    def test_original_runs(self):
+        r = run(minimd.build_source(optimized=False), SMALL_MINIMD, "m.chpl")
+        assert any(l.startswith("energy") for l in r.output)
+
+    def test_optimized_equivalent(self):
+        a = run(minimd.build_source(optimized=False), SMALL_MINIMD, "m.chpl")
+        b = run(minimd.build_source(optimized=True), SMALL_MINIMD, "m.chpl")
+        assert non_timing(a.output) == non_timing(b.output)
+
+    def test_optimized_faster_at_default_size(self):
+        cfg = minimd.config_for()
+        a = run(minimd.build_source(optimized=False), cfg, "m.chpl", 12)
+        b = run(minimd.build_source(optimized=True), cfg, "m.chpl", 12)
+        assert b.wall_seconds < a.wall_seconds
+
+    def test_config_helper(self):
+        cfg = minimd.config_for(num_bins=7, steps=1)
+        assert cfg["numBins"] == 7 and cfg["steps"] == 1
+
+    def test_energy_changes_with_steps(self):
+        r1 = run(minimd.build_source(), dict(SMALL_MINIMD, steps=1), "m.chpl")
+        r2 = run(minimd.build_source(), dict(SMALL_MINIMD, steps=3), "m.chpl")
+        assert non_timing(r1.output) != non_timing(r2.output)
+
+
+class TestClomp:
+    def test_original_runs(self):
+        r = run(clomp.build_source(optimized=False), SMALL_CLOMP, "c.chpl")
+        assert any(l.startswith("residue total") for l in r.output)
+
+    def test_optimized_equivalent(self):
+        a = run(clomp.build_source(optimized=False), SMALL_CLOMP, "c.chpl")
+        b = run(clomp.build_source(optimized=True), SMALL_CLOMP, "c.chpl")
+        assert non_timing(a.output) == non_timing(b.output)
+
+    def test_optimized_faster_zone_heavy(self):
+        cfg = clomp.config_for(8, 120, 1)
+        a = run(clomp.build_source(optimized=False), cfg, "c.chpl", 12)
+        b = run(clomp.build_source(optimized=True), cfg, "c.chpl", 12)
+        assert b.wall_seconds < a.wall_seconds
+
+    def test_table_v_shapes_well_formed(self):
+        assert len(clomp.TABLE_V_SHAPES) == 4
+        for label, parts, zones in clomp.TABLE_V_SHAPES:
+            assert parts >= 1 and zones >= 1
+
+
+class TestLulesh:
+    @pytest.mark.parametrize(
+        "variant",
+        [lulesh.ORIGINAL, lulesh.P1_ONLY, lulesh.VG_ONLY, lulesh.CENN_ONLY, lulesh.BEST_CASE],
+        ids=lambda v: v.tag,
+    )
+    def test_variants_equivalent(self, variant):
+        base = run(lulesh.build_source(lulesh.ORIGINAL), SMALL_LULESH, "l.chpl")
+        v = run(lulesh.build_source(variant), SMALL_LULESH, "l.chpl")
+        assert non_timing(v.output) == non_timing(base.output)
+
+    @pytest.mark.parametrize("tag,variant", lulesh.TABLE_VII_VARIANTS, ids=[t for t, _ in lulesh.TABLE_VII_VARIANTS])
+    def test_unroll_variants_equivalent(self, tag, variant):
+        base = run(lulesh.build_source(lulesh.ORIGINAL), SMALL_LULESH, "l.chpl")
+        v = run(lulesh.build_source(variant), SMALL_LULESH, "l.chpl")
+        assert non_timing(v.output) == non_timing(base.output)
+
+    def test_variant_tags(self):
+        assert lulesh.ORIGINAL.tag == "Original"
+        assert lulesh.LuleshVariant(p1=False, p2=False, p3=False).tag == "0 params"
+        assert lulesh.BEST_CASE.tag == "P1+VG+CENN"
+
+    def test_vg_declares_globals(self):
+        src = lulesh.build_source(lulesh.VG_ONLY)
+        assert "var determG" in src and "var dvdxG" in src
+        assert "var determ: [Elems] real" not in src
+
+    def test_manual_unroll_removes_inner_loop(self):
+        src = lulesh.build_source(
+            lulesh.LuleshVariant(p1=True, p2=False, p3=False, u2=True)
+        )
+        # loop 2 body appears with literal indices
+        assert "x8n[e][0]" in src and "x8n[e][7]" in src
+
+
+class TestFig1Example:
+    def test_source_lines_match_paper(self):
+        lines = example_fig1.SOURCE.splitlines()
+        assert lines[15].startswith("var a")  # line 16
+        assert lines[16].startswith("var b")  # line 17
+        assert lines[17].startswith("if a < b")  # line 18
+        assert lines[18].startswith("a = b + 1")  # line 19
+        assert lines[19].startswith("c = a + b")  # line 20
+
+    def test_example_runs(self):
+        r = run(example_fig1.build_source(), None, "fig1.chpl")
+        assert r.output == ["7"]  # a=4, b=3 → c=7

@@ -1,0 +1,36 @@
+"""Workload generator tests: every workload runs and its blame oracle
+holds."""
+
+import pytest
+
+from repro.bench.workloads import ALL_WORKLOADS
+
+import sys, os
+sys.path.insert(0, os.path.dirname(os.path.dirname(__file__)))
+from conftest import profile_src
+
+
+@pytest.mark.parametrize("name", sorted(ALL_WORKLOADS))
+def test_workload_runs_and_oracle_holds(name):
+    wl = ALL_WORKLOADS[name]()
+    res = profile_src(wl.source, config=wl.config, threshold=911, num_threads=8)
+    assert res.run_result.output  # produced its checksum line
+    top_tier = {
+        r.name for r in res.report.rows if r.blame >= 0.25
+    }
+    for hot in wl.hot_variables:
+        assert res.report.blame_of(hot) > 0.2, (name, hot, sorted(top_tier))
+    for cold in wl.cold_variables:
+        assert res.report.blame_of(cold) < 0.25, (name, cold)
+
+
+def test_workloads_scale_with_parameters():
+    from repro.bench.workloads import stencil
+
+    small = stencil(n=8, iters=2)
+    big = stencil(n=16, iters=4)
+    r_small = profile_src(small.source, config=small.config, threshold=911)
+    r_big = profile_src(big.source, config=big.config, threshold=911)
+    assert r_big.run_result.instructions_executed > (
+        2 * r_small.run_result.instructions_executed
+    )

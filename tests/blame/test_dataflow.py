@@ -1,0 +1,277 @@
+"""Static data-flow tests: root resolution, aliasing, write sets,
+descriptor writes, transfer maps."""
+
+import pytest
+
+from repro.blame.dataflow import RET_KEY, DataFlow, VarKey, is_pointer_like, render_path
+from repro.blame.static_info import ModuleBlameInfo
+from repro.chapel.types import INT, REAL, ArrayType, DomainType, RecordType
+from repro.ir import instructions as I
+
+import sys, os
+sys.path.insert(0, os.path.dirname(os.path.dirname(__file__)))
+from conftest import compile_src
+
+
+def df_of(src, fn="main"):
+    m = compile_src(src)
+    return m, DataFlow(m.functions[fn], m)
+
+
+def writes_by_name(df):
+    out = {}
+    for key, ws in df.writes.items():
+        meta = df.var_meta.get(key)
+        # Alias-seeded global roots may lack local metadata; fall back
+        # to the global's own name.
+        name = meta.name if meta else (str(key.ident) if key.kind == "global" else str(key))
+        out.setdefault(name, set()).update(w.iid for w in ws)
+    return out
+
+
+class TestRoots:
+    def test_local_store(self):
+        m, df = df_of("proc main() { var x: int = 1; x = 2; }")
+        w = writes_by_name(df)
+        assert len(w["x"]) == 2  # init + assignment
+
+    def test_global_store(self):
+        src = "var g: int = 0;\nproc main() { g = 5; }"
+        m, df = df_of(src)
+        assert VarKey("global", "g") in df.writes
+
+    def test_array_element_store_has_index_path(self):
+        src = "var A: [0..3] real;\nproc main() { A[2] = 1.0; }"
+        m, df = df_of(src)
+        key = VarKey("global", "A")
+        assert key in df.writes
+        assert (key, (("index",),)) in df.path_writes
+
+    def test_record_field_path(self):
+        src = (
+            "record P { var x: real; }\nvar ps: [0..3] P;\n"
+            "proc main() { ps[1].x = 2.0; }"
+        )
+        m, df = df_of(src)
+        key = VarKey("global", "ps")
+        paths = {p for k, p in df.path_writes if k == key}
+        assert (("index",), ("field", "x")) in paths
+
+    def test_class_field_uses_cfield(self):
+        src = (
+            "class C { var v: real; }\nvar c: C = new C(0.0);\n"
+            "proc main() { c.v = 1.0; }"
+        )
+        m, df = df_of(src)
+        key = VarKey("global", "c")
+        paths = {p for k, p in df.path_writes if k == key}
+        assert (("cfield", "v"),) in paths
+
+    def test_ref_formal_root(self):
+        src = "proc f(ref out1: real) { out1 = 3.0; }"
+        m = compile_src(src)
+        df = DataFlow(m.functions["f"], m)
+        assert VarKey("formal", "out1") in df.writes
+
+    def test_in_formal_home_identifies_with_formal(self):
+        src = "proc f(x: int): int { return x + 1; }"
+        m = compile_src(src)
+        df = DataFlow(m.functions["f"], m)
+        # the incoming-value store registers as a write to the formal
+        assert VarKey("formal", "x") in df.writes
+
+    def test_return_pseudo_var(self):
+        src = "proc f(): int { return 42; }"
+        m = compile_src(src)
+        df = DataFlow(m.functions["f"], m)
+        assert RET_KEY in df.writes
+
+
+class TestAliasing:
+    def test_slice_alias_within_function(self):
+        src = """
+var A: [0..9] real;
+proc main() {
+  var S = A[2..5];
+  S[3] = 1.0;
+}
+"""
+        m, df = df_of(src)
+        w = writes_by_name(df)
+        # the element store through S blames both S and A
+        store_iids = {
+            i.iid
+            for i in m.functions["main"].instructions()
+            if isinstance(i, I.Store)
+        }
+        assert w["S"] & store_iids
+        assert w["A"] & w["S"]
+
+    def test_cross_function_alias_needs_module_info(self):
+        src = """
+var A: [0..9] real;
+var Alias = A[0..9];
+proc touch() { Alias[3] = 1.0; }
+proc main() { touch(); }
+"""
+        m = compile_src(src)
+        info = ModuleBlameInfo(m)
+        df = info.functions["touch"].dataflow
+        w = writes_by_name(df)
+        assert "A" in w and "Alias" in w
+        assert w["A"] == w["Alias"]
+
+    def test_scalar_stores_do_not_alias(self):
+        src = """
+proc main() {
+  var x: real = 1.0;
+  var y = x;
+  y = 2.0;
+}
+"""
+        m, df = df_of(src)
+        w = writes_by_name(df)
+        # writes to y are not writes to x
+        assert not (w.get("x", set()) & w["y"] - {min(w["y"])})
+        y_final = [i for i in m.functions["main"].instructions()
+                   if isinstance(i, I.Store)][-1]
+        assert y_final.iid not in w.get("x", set())
+
+
+class TestDescriptorWrites:
+    def test_slice_writes_base_and_domain_roots(self):
+        src = """
+var D: domain(1) = {0..9};
+var A: [D] real;
+proc main() {
+  var S = A[D];
+}
+"""
+        m, df = df_of(src)
+        w = writes_by_name(df)
+        slice_iids = {
+            i.iid
+            for i in m.functions["main"].instructions()
+            if isinstance(i, I.ArraySlice)
+        }
+        assert slice_iids & w["A"]
+        assert slice_iids & w["D"]
+
+    def test_expand_writes_domain(self):
+        src = """
+var D: domain(1) = {0..9};
+proc main() { var E = D.expand(1); }
+"""
+        m, df = df_of(src)
+        assert VarKey("global", "D") in df.writes
+
+    def test_iterator_writes_iterable_descriptor(self):
+        src = """
+var A: [0..9] real;
+proc main() {
+  var s = 0.0;
+  for a in A { s += a; }
+}
+"""
+        m, df = df_of(src)
+        w = writes_by_name(df)
+        iter_iids = {
+            i.iid
+            for i in m.functions["main"].instructions()
+            if isinstance(i, (I.IterInit, I.IterNext))
+        }
+        assert iter_iids & w["A"]
+
+    def test_descriptor_writes_are_shallow(self):
+        src = """
+var D: domain(1) = {0..9};
+var A: [D] real;
+proc main() { var S = A[D]; }
+"""
+        m, df = df_of(src)
+        slice_iids = {
+            i.iid
+            for i in m.functions["main"].instructions()
+            if isinstance(i, I.ArraySlice)
+        }
+        assert not (slice_iids & df.deep_write_iids)
+
+
+class TestCallTransfer:
+    def test_ref_arg_roots_recorded(self):
+        src = """
+proc callee(ref t: real) { t = 1.0; }
+proc main() {
+  var target: real = 0.0;
+  callee(target);
+}
+"""
+        m, df = df_of(src)
+        call = next(
+            i
+            for i in m.functions["main"].instructions()
+            if isinstance(i, I.Call) and i.callee == "callee"
+        )
+        arg_map = df.call_arg_roots[call.iid]
+        keys = {k for roots in arg_map.values() for k, p in roots}
+        names = {df.var_meta[k].name for k in keys}
+        assert names == {"target"}
+
+    def test_callsite_is_deep_write_to_ref_args(self):
+        src = """
+proc callee(ref t: real) { t = 1.0; }
+proc main() {
+  var target: real = 0.0;
+  callee(target);
+}
+"""
+        m, df = df_of(src)
+        call = next(
+            i for i in m.functions["main"].instructions()
+            if isinstance(i, I.Call) and i.callee == "callee"
+        )
+        assert call.iid in df.deep_write_iids
+
+    def test_pointer_like_in_formal_transfers(self):
+        src = """
+class C { var v: real; }
+proc mutate(c: C) { c.v = 1.0; }
+var g: C = new C(0.0);
+proc main() { mutate(g); }
+"""
+        m, df = df_of(src)
+        call = next(
+            i for i in m.functions["main"].instructions()
+            if isinstance(i, I.Call) and i.callee == "mutate"
+        )
+        assert "c" in df.call_arg_roots[call.iid]
+
+    def test_spawn_arg_map_covers_iterables_and_captures(self):
+        src = """
+var D: domain(1) = {0..7};
+proc main() {
+  var acc: real = 0.0;
+  forall i in D { acc = acc + i; }
+}
+"""
+        m, df = df_of(src)
+        spawn = next(
+            i for i in m.functions["main"].instructions()
+            if isinstance(i, I.SpawnJoin)
+        )
+        arg_map = df.call_arg_roots[spawn.iid]
+        assert "_chunk0" in arg_map
+        assert "acc" in arg_map
+
+
+class TestHelpers:
+    def test_is_pointer_like(self):
+        assert is_pointer_like(ArrayType(REAL, 1))
+        assert is_pointer_like(DomainType(1))
+        assert is_pointer_like(RecordType("C", (), is_class=True))
+        assert not is_pointer_like(RecordType("R", ()))
+        assert not is_pointer_like(INT)
+
+    def test_render_path(self):
+        p = (("index",), ("field", "zoneArray"), ("index",), ("cfield", "value"))
+        assert render_path(p) == "[i].zoneArray[j].value"

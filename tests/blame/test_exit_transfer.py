@@ -1,0 +1,152 @@
+"""Exit-variable and transfer-function unit tests (paper §IV.A)."""
+
+import pytest
+
+from repro.blame.dataflow import RET_KEY, DataFlow, VarKey
+from repro.blame.exit_vars import compute_exit_vars
+from repro.blame.static_info import ModuleBlameInfo
+from repro.blame.transfer import TransferFunction
+
+import sys, os
+sys.path.insert(0, os.path.dirname(os.path.dirname(__file__)))
+from conftest import compile_src
+
+
+def analysis(src, fn):
+    m = compile_src(src)
+    df = DataFlow(m.functions[fn], m)
+    return m, df, compute_exit_vars(m.functions[fn], df)
+
+
+class TestExitVars:
+    def test_ref_formal_is_exit(self):
+        _m, _df, ev = analysis("proc f(ref r: real) { r = 1.0; }", "f")
+        assert ev.is_exit(VarKey("formal", "r"))
+
+    def test_value_scalar_formal_is_not_exit(self):
+        _m, _df, ev = analysis("proc f(x: int) { var y = x + 1; }", "f")
+        assert not ev.is_exit(VarKey("formal", "x"))
+
+    def test_array_in_formal_is_exit(self):
+        # "incoming parameters that are pointers" — arrays qualify.
+        _m, _df, ev = analysis("proc f(a: [?] real) { a[0] = 1.0; }", "f")
+        assert ev.is_exit(VarKey("formal", "a"))
+
+    def test_class_in_formal_is_exit(self):
+        src = "class C { var v: real; }\nproc f(c: C) { c.v = 1.0; }"
+        _m, _df, ev = analysis(src, "f")
+        assert ev.is_exit(VarKey("formal", "c"))
+
+    def test_globals_always_exit(self):
+        src = "var g: int = 0;\nproc f() { g = 1; }"
+        _m, _df, ev = analysis(src, "f")
+        assert ev.is_exit(VarKey("global", "g"))
+        assert VarKey("global", "g") in ev.globals_written
+
+    def test_return_exit_only_when_returning(self):
+        _m, _df, ev = analysis("proc f(): int { return 3; }", "f")
+        assert ev.has_return and ev.is_exit(RET_KEY)
+        _m2, _df2, ev2 = analysis("proc g() { var x = 1; }", "g")
+        assert not ev2.has_return
+
+    def test_locals_never_exit(self):
+        _m, _df, ev = analysis("proc f() { var local1 = 1; local1 = 2; }", "f")
+        local_keys = [k for k in _df.writes if k.kind == "local"]
+        assert local_keys
+        assert not any(ev.is_exit(k) for k in local_keys)
+
+
+class TestTransferFunction:
+    SRC = """
+proc callee(ref t: 3*real, scale: real) {
+  t[0] = scale;
+}
+proc main() {
+  var target: 3*real;
+  callee(target, 2.0);
+}
+"""
+
+    def get_callsite(self, m, caller, callee):
+        from repro.ir import instructions as I
+
+        return next(
+            i
+            for i in m.functions[caller].instructions()
+            if isinstance(i, I.Call) and i.callee == callee
+        )
+
+    def test_map_up_translates_blamed_formal(self):
+        m = compile_src(self.SRC)
+        df = DataFlow(m.functions["main"], m)
+        tf = TransferFunction(df)
+        call = self.get_callsite(m, "main", "callee")
+        res = tf.map_up(
+            call.iid, frozenset({(VarKey("formal", "t"), ())}), False
+        )
+        names = {df.var_meta[k].name for k, p in res.caller_roots}
+        assert names == {"target"}
+        assert res.any_exit_blamed
+
+    def test_map_up_unblamed_gives_nothing(self):
+        m = compile_src(self.SRC)
+        df = DataFlow(m.functions["main"], m)
+        tf = TransferFunction(df)
+        call = self.get_callsite(m, "main", "callee")
+        res = tf.map_up(call.iid, frozenset(), False)
+        assert not res.caller_roots
+        assert not res.any_exit_blamed
+
+    def test_map_up_composes_paths(self):
+        src = """
+record Z { var v: real; }
+class P { var zs: [?] Z; }
+proc callee(p: P) { p.zs[0].v = 1.0; }
+var g: [0..1] P;
+proc main() {
+  callee(g[0]);
+}
+"""
+        m = compile_src(src)
+        df = DataFlow(m.functions["main"], m)
+        tf = TransferFunction(df)
+        call = self.get_callsite(m, "main", "callee")
+        inner_path = (("cfield", "zs"), ("index",), ("field", "v"))
+        res = tf.map_up(
+            call.iid,
+            frozenset({(VarKey("formal", "p"), inner_path)}),
+            False,
+        )
+        # composed: g [index] . zs [index] . v  (depth-capped)
+        paths = {p for _k, p in res.caller_roots}
+        assert any(p and p[0] == ("index",) and ("cfield", "zs") in p for p in paths)
+
+    def test_return_blamed_flag(self):
+        m = compile_src(self.SRC)
+        df = DataFlow(m.functions["main"], m)
+        tf = TransferFunction(df)
+        call = self.get_callsite(m, "main", "callee")
+        res = tf.map_up(call.iid, frozenset(), True)
+        assert res.any_exit_blamed
+
+
+class TestVariableLinesMap:
+    def test_per_function_maps_are_separate(self):
+        src = """
+var g: int = 0;
+proc a() {
+  var x = 1;
+  g = x;
+}
+proc b() {
+  var x = 2;
+  g = x + 1;
+}
+proc main() { a(); b(); }
+"""
+        m = compile_src(src)
+        info = ModuleBlameInfo(m)
+        map_a = info.variable_lines_map("a")
+        map_b = info.variable_lines_map("b")
+        assert map_a["x"] != map_b["x"]
+        assert info.variable_lines_map("nosuch") == {}

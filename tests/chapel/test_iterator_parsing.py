@@ -1,0 +1,65 @@
+"""Parser tests for the iterator / with-clause syntax extensions."""
+
+import pytest
+
+from repro.chapel import ast_nodes as A
+from repro.chapel.errors import ParseError
+from repro.chapel.parser import parse
+
+
+class TestIterSyntax:
+    def test_iter_decl(self):
+        p = parse("iter f(n: int): int { yield n; }")
+        decl = p.decls[0]
+        assert isinstance(decl, A.ProcDecl) and decl.is_iter
+        assert isinstance(decl.body.stmts[0], A.Yield)
+
+    def test_proc_not_iter(self):
+        p = parse("proc f(): int { return 1; }")
+        assert not p.decls[0].is_iter
+
+    def test_yield_statement(self):
+        p = parse("iter f(): int { yield 1 + 2; }")
+        y = p.decls[0].body.stmts[0]
+        assert isinstance(y.value, A.BinOp)
+
+    def test_yield_requires_expression(self):
+        with pytest.raises(ParseError):
+            parse("iter f(): int { yield; }")
+
+
+class TestWithClause:
+    def test_single_reduce_intent(self):
+        p = parse("proc main() { forall i in D with (+ reduce s) { } }")
+        loop = p.decls[0].body.stmts[0]
+        assert loop.reduce_intents == [("+", "s")]
+
+    def test_multiple_intents(self):
+        p = parse(
+            "proc main() { forall i in D with (+ reduce a, max reduce b) { } }"
+        )
+        loop = p.decls[0].body.stmts[0]
+        assert loop.reduce_intents == [("+", "a"), ("max", "b")]
+
+    def test_with_on_coforall(self):
+        p = parse("proc main() { coforall t in 0..3 with (* reduce p) { } }")
+        assert p.decls[0].body.stmts[0].reduce_intents == [("*", "p")]
+
+    def test_with_on_serial_for_rejected(self):
+        with pytest.raises(ParseError, match="parallel"):
+            parse("proc main() { for i in D with (+ reduce s) { } }")
+
+    def test_missing_reduce_keyword(self):
+        with pytest.raises(ParseError):
+            parse("proc main() { forall i in D with (+ s) { } }")
+
+    def test_plain_forall_has_no_intents(self):
+        p = parse("proc main() { forall i in D { } }")
+        assert p.decls[0].body.stmts[0].reduce_intents == []
+
+
+class TestDomainMethodName:
+    def test_dot_domain_allowed(self):
+        p = parse("proc main() { var d = A.domain(); }")
+        init = p.decls[0].body.stmts[0].init
+        assert isinstance(init, A.MethodCall) and init.method == "domain"

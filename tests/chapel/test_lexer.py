@@ -1,0 +1,177 @@
+"""Lexer unit tests: token kinds, locations, comments, errors."""
+
+import pytest
+
+from repro.chapel.errors import LexError
+from repro.chapel.lexer import tokenize
+from repro.chapel.tokens import TokenKind
+
+
+def kinds(src: str) -> list[TokenKind]:
+    return [t.kind for t in tokenize(src)][:-1]  # strip EOF
+
+
+def texts(src: str) -> list[str]:
+    return [t.text for t in tokenize(src)][:-1]
+
+
+class TestBasicTokens:
+    def test_empty_source_yields_only_eof(self):
+        toks = tokenize("")
+        assert len(toks) == 1
+        assert toks[0].kind is TokenKind.EOF
+
+    def test_integer_literal(self):
+        toks = tokenize("42")
+        assert toks[0].kind is TokenKind.INT_LIT
+        assert toks[0].text == "42"
+
+    def test_integer_with_underscores(self):
+        toks = tokenize("608_888_809")
+        assert toks[0].text == "608888809"
+
+    def test_real_literal(self):
+        toks = tokenize("3.25")
+        assert toks[0].kind is TokenKind.REAL_LIT
+        assert toks[0].text == "3.25"
+
+    def test_real_with_exponent(self):
+        assert tokenize("1.5e3")[0].kind is TokenKind.REAL_LIT
+        assert tokenize("2e-4")[0].kind is TokenKind.REAL_LIT
+        assert tokenize("2E+6")[0].kind is TokenKind.REAL_LIT
+
+    def test_integer_followed_by_range_is_not_real(self):
+        # `0..9` must lex as INT DOTDOT INT, not a malformed real.
+        assert kinds("0..9") == [TokenKind.INT_LIT, TokenKind.DOTDOT, TokenKind.INT_LIT]
+
+    def test_counted_range_operator(self):
+        assert kinds("0..#8") == [
+            TokenKind.INT_LIT,
+            TokenKind.DOTDOTHASH,
+            TokenKind.INT_LIT,
+        ]
+
+    def test_identifiers_and_keywords(self):
+        toks = tokenize("var forall wibble proc")
+        assert [t.kind for t in toks[:-1]] == [
+            TokenKind.KW_VAR,
+            TokenKind.KW_FORALL,
+            TokenKind.IDENT,
+            TokenKind.KW_PROC,
+        ]
+
+    def test_bool_literals(self):
+        toks = tokenize("true false")
+        assert all(t.kind is TokenKind.BOOL_LIT for t in toks[:-1])
+
+    def test_string_literal(self):
+        toks = tokenize('"hello world"')
+        assert toks[0].kind is TokenKind.STRING_LIT
+        assert toks[0].text == "hello world"
+
+    def test_string_escapes(self):
+        assert tokenize(r'"a\nb\tc\\d"')[0].text == "a\nb\tc\\d"
+
+
+class TestOperators:
+    @pytest.mark.parametrize(
+        "src,kind",
+        [
+            ("+", TokenKind.PLUS),
+            ("-", TokenKind.MINUS),
+            ("**", TokenKind.STARSTAR),
+            ("+=", TokenKind.PLUS_ASSIGN),
+            ("==", TokenKind.EQ),
+            ("!=", TokenKind.NE),
+            ("<=", TokenKind.LE),
+            (">=", TokenKind.GE),
+            ("&&", TokenKind.AND),
+            ("||", TokenKind.OR),
+            ("=>", TokenKind.ARROW),
+            ("..", TokenKind.DOTDOT),
+            ("..#", TokenKind.DOTDOTHASH),
+        ],
+    )
+    def test_operator(self, src, kind):
+        assert tokenize(src)[0].kind is kind
+
+    def test_star_star_vs_star(self):
+        assert kinds("a ** b * c") == [
+            TokenKind.IDENT,
+            TokenKind.STARSTAR,
+            TokenKind.IDENT,
+            TokenKind.STAR,
+            TokenKind.IDENT,
+        ]
+
+    def test_dot_access_vs_range(self):
+        assert kinds("a.b") == [TokenKind.IDENT, TokenKind.DOT, TokenKind.IDENT]
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert kinds("1 // comment here\n2") == [TokenKind.INT_LIT, TokenKind.INT_LIT]
+
+    def test_block_comment(self):
+        assert kinds("1 /* hi */ 2") == [TokenKind.INT_LIT, TokenKind.INT_LIT]
+
+    def test_nested_block_comment(self):
+        assert kinds("1 /* a /* b */ c */ 2") == [TokenKind.INT_LIT, TokenKind.INT_LIT]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError):
+            tokenize("/* never closed")
+
+
+class TestLocations:
+    def test_line_and_column_tracking(self):
+        toks = tokenize("a\n  b\nccc")
+        assert (toks[0].loc.line, toks[0].loc.column) == (1, 1)
+        assert (toks[1].loc.line, toks[1].loc.column) == (2, 3)
+        assert (toks[2].loc.line, toks[2].loc.column) == (3, 1)
+
+    def test_filename_recorded(self):
+        toks = tokenize("x", filename="prog.chpl")
+        assert toks[0].loc.filename == "prog.chpl"
+
+    def test_location_after_block_comment_with_newlines(self):
+        toks = tokenize("/* a\nb\nc */ x")
+        assert toks[0].loc.line == 3
+
+
+class TestErrors:
+    def test_unknown_character(self):
+        with pytest.raises(LexError):
+            tokenize("a $ b")
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError):
+            tokenize('"no end')
+
+    def test_string_with_newline(self):
+        with pytest.raises(LexError):
+            tokenize('"line\nbreak"')
+
+    def test_bad_escape(self):
+        with pytest.raises(LexError):
+            tokenize(r'"\q"')
+
+
+class TestRealisticSnippets:
+    def test_minimd_style_declaration(self):
+        src = "var Pos: [PosSpace] 3*real;"
+        ks = kinds(src)
+        assert TokenKind.KW_VAR in ks
+        assert TokenKind.STAR in ks
+        assert TokenKind.KW_REAL in ks
+
+    def test_forall_zip(self):
+        src = "forall (p, a) in zip(A, B) { }"
+        ks = kinds(src)
+        assert TokenKind.KW_FORALL in ks
+        assert TokenKind.KW_ZIP in ks
+
+    def test_int_width(self):
+        ks = kinds("var c: int(32) = 0;")
+        assert TokenKind.KW_INT in ks
+        assert TokenKind.INT_LIT in ks

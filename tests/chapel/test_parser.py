@@ -1,0 +1,316 @@
+"""Parser unit tests: every construct of the mini-Chapel grammar."""
+
+import pytest
+
+from repro.chapel import ast_nodes as A
+from repro.chapel.errors import ParseError
+from repro.chapel.parser import parse
+
+
+def stmt0(src: str):
+    return parse(src).decls[0]
+
+
+def expr_of(src: str):
+    """Parses `<expr>;` and returns the expression."""
+    s = stmt0(src + ";")
+    assert isinstance(s, A.ExprStmt)
+    return s.expr
+
+
+class TestDeclarations:
+    def test_var_with_type_and_init(self):
+        d = stmt0("var x: int = 3;")
+        assert isinstance(d, A.VarDecl)
+        assert d.kind == "var" and d.name == "x"
+        assert isinstance(d.declared_type, A.NamedType)
+        assert isinstance(d.init, A.IntLit)
+
+    def test_var_inferred(self):
+        d = stmt0("var y = 1.5;")
+        assert d.declared_type is None
+        assert isinstance(d.init, A.RealLit)
+
+    def test_var_needs_type_or_init(self):
+        with pytest.raises(ParseError):
+            parse("var z;")
+
+    def test_const_and_param(self):
+        assert stmt0("const c = 1;").kind == "const"
+        assert stmt0("param p = 4;").kind == "param"
+
+    def test_config_const(self):
+        d = stmt0("config const n: int = 16;")
+        assert d.is_config and d.kind == "const"
+
+    def test_config_requires_kind(self):
+        with pytest.raises(ParseError):
+            parse("config n = 1;")
+
+    def test_tuple_type(self):
+        d = stmt0("var v: 3*real = (1.0, 2.0, 3.0);")
+        assert isinstance(d.declared_type, A.TupleTypeExpr)
+        assert d.declared_type.count == 3
+
+    def test_nested_tuple_type(self):
+        d = stmt0("var h: 8*(4*real) = zeroes();")
+        t = d.declared_type
+        assert isinstance(t, A.TupleTypeExpr) and t.count == 8
+        assert isinstance(t.elem, A.TupleTypeExpr) and t.elem.count == 4
+
+    def test_array_type_with_domain_name(self):
+        d = stmt0("var A: [D] real;")
+        assert isinstance(d.declared_type, A.ArrayTypeExpr)
+        assert isinstance(d.declared_type.domain, A.Ident)
+
+    def test_array_type_with_inline_ranges(self):
+        d = stmt0("var A: [0..9, 0..3] int;")
+        t = d.declared_type
+        assert isinstance(t.domain, A.DomainLit)
+        assert len(t.domain.dims) == 2
+
+    def test_open_array_type(self):
+        p = parse("proc f(A: [?] real) { }")
+        t = p.decls[0].params[0].declared_type
+        assert isinstance(t, A.ArrayTypeExpr) and t.open_rank == 1
+
+    def test_domain_type(self):
+        d = stmt0("var D: domain(2) = {0..3, 0..3};")
+        assert isinstance(d.declared_type, A.DomainTypeExpr)
+        assert d.declared_type.rank == 2
+
+    def test_int_width_type(self):
+        d = stmt0("var c: int(32) = 0;")
+        assert d.declared_type.width == 32
+
+
+class TestProcs:
+    def test_simple_proc(self):
+        p = stmt0("proc f(x: int): int { return x; }")
+        assert isinstance(p, A.ProcDecl)
+        assert p.params[0].name == "x"
+        assert p.return_type is not None
+
+    def test_ref_intent(self):
+        p = stmt0("proc f(ref y: real) { y = 1.0; }")
+        assert p.params[0].intent == "ref"
+
+    @pytest.mark.parametrize("intent", ["in", "out", "inout"])
+    def test_other_intents(self, intent):
+        p = stmt0(f"proc f({intent} y: real) {{ }}")
+        assert p.params[0].intent == intent
+
+    def test_const_ref_collapses(self):
+        p = stmt0("proc f(const ref y: real) { }")
+        assert p.params[0].intent == "ref"
+
+    def test_void_proc_no_return_type(self):
+        p = stmt0("proc g() { }")
+        assert p.return_type is None
+
+    def test_nested_proc(self):
+        p = stmt0("proc outer() { proc inner(a: int): int { return a; } }")
+        inner = p.body.stmts[0]
+        assert isinstance(inner, A.ProcDecl)
+
+
+class TestRecords:
+    def test_record_fields(self):
+        r = stmt0("record atom { var v: 3*real; var f: 3*real; }")
+        assert isinstance(r, A.RecordDecl)
+        assert [f.name for f in r.fields] == ["v", "f"]
+        assert not r.is_class
+
+    def test_class(self):
+        r = stmt0("class Part { var residue: real; }")
+        assert r.is_class
+
+    def test_record_rejects_statements(self):
+        with pytest.raises(ParseError):
+            parse("record R { x = 1; }")
+
+
+class TestStatements:
+    def test_if_else(self):
+        s = stmt0("if a < b { x = 1; } else { x = 2; }")
+        assert isinstance(s, A.If) and s.else_body is not None
+
+    def test_if_then_single(self):
+        s = stmt0("if a < b then x = 1;")
+        assert isinstance(s, A.If)
+        assert len(s.then_body.stmts) == 1
+
+    def test_while_do(self):
+        s = stmt0("while x < 10 do x += 1;")
+        assert isinstance(s, A.While)
+
+    def test_select(self):
+        s = stmt0("select x { when 1 { y = 1; } when 2, 3 { y = 2; } otherwise { y = 0; } }")
+        assert isinstance(s, A.Select)
+        assert len(s.whens) == 2
+        assert len(s.whens[1].values) == 2
+        assert s.otherwise is not None
+
+    def test_return_break_continue(self):
+        p = stmt0("proc f() { for i in 1..3 { break; continue; } return; }")
+        loop = p.body.stmts[0]
+        assert isinstance(loop.body.stmts[0], A.Break)
+        assert isinstance(loop.body.stmts[1], A.Continue)
+
+    def test_compound_assignment(self):
+        s = stmt0("x += 2;")
+        assert isinstance(s, A.Assign) and s.op == "+="
+
+    def test_invalid_assignment_target(self):
+        with pytest.raises(ParseError):
+            parse("f(x) = 1;")
+
+    def test_use_statement(self):
+        s = stmt0("use Time;")
+        assert isinstance(s, A.Use) and s.module == "Time"
+
+
+class TestLoops:
+    def test_simple_for(self):
+        s = stmt0("for i in 0..9 { }")
+        assert isinstance(s, A.For) and s.kind == "for"
+        assert not s.zippered and not s.is_param
+
+    def test_param_for(self):
+        s = stmt0("for param i in 0..7 { }")
+        assert s.is_param
+
+    def test_forall_and_coforall(self):
+        assert stmt0("forall i in D { }").kind == "forall"
+        assert stmt0("coforall t in 0..#4 { }").kind == "coforall"
+
+    def test_zippered(self):
+        s = stmt0("for (a, b) in zip(A, B) { }")
+        assert s.zippered
+        assert [ix.name for ix in s.indices] == ["a", "b"]
+        assert len(s.iterables) == 2
+
+    def test_zippered_arity_mismatch(self):
+        with pytest.raises(ParseError):
+            parse("for (a, b, c) in zip(A, B) { }")
+
+    def test_destructuring_without_zip(self):
+        s = stmt0("forall (i, j) in D2 { }")
+        assert len(s.indices) == 2 and len(s.iterables) == 1
+
+    def test_loop_do_form(self):
+        s = stmt0("for i in 1..3 do x += i;")
+        assert len(s.body.stmts) == 1
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        e = expr_of("1 + 2 * 3")
+        assert isinstance(e, A.BinOp) and e.op == "+"
+        assert isinstance(e.rhs, A.BinOp) and e.rhs.op == "*"
+
+    def test_precedence_cmp_over_and(self):
+        e = expr_of("a < b && c > d")
+        assert e.op == "&&"
+        assert e.lhs.op == "<" and e.rhs.op == ">"
+
+    def test_power_right_assoc(self):
+        e = expr_of("2 ** 3 ** 2")
+        assert e.op == "**"
+        assert isinstance(e.rhs, A.BinOp) and e.rhs.op == "**"
+
+    def test_range_binds_looser_than_add(self):
+        e = expr_of("0..n-1")
+        assert isinstance(e, A.RangeLit)
+        assert isinstance(e.hi, A.BinOp)
+
+    def test_range_by_step(self):
+        e = expr_of("0..10 by 2")
+        assert isinstance(e, A.RangeLit) and e.step is not None
+
+    def test_counted_range(self):
+        e = expr_of("5..#3")
+        assert e.counted
+
+    def test_unary_minus(self):
+        e = expr_of("-x * y")
+        assert e.op == "*"
+        assert isinstance(e.lhs, A.UnOp)
+
+    def test_call_and_method(self):
+        e = expr_of("sqrt(x)")
+        assert isinstance(e, A.Call) and e.callee == "sqrt"
+        e = expr_of("D.expand(1)")
+        assert isinstance(e, A.MethodCall) and e.method == "expand"
+
+    def test_chained_indexing(self):
+        e = expr_of("Pos[b, k]")
+        assert isinstance(e, A.Index) and len(e.indices) == 2
+        e = expr_of("fx[e][k]")
+        assert isinstance(e, A.Index)
+        assert isinstance(e.base, A.Index)
+
+    def test_field_access_chain(self):
+        e = expr_of("partArray[i].zoneArray[j].value")
+        assert isinstance(e, A.FieldAccess) and e.field == "value"
+
+    def test_tuple_literal(self):
+        e = expr_of("(1.0, 2.0, 3.0)")
+        assert isinstance(e, A.TupleLit) and len(e.elems) == 3
+
+    def test_parenthesized_is_not_tuple(self):
+        e = expr_of("(1 + 2)")
+        assert isinstance(e, A.BinOp)
+
+    def test_domain_literal(self):
+        # Domain literals are expressions; at statement start `{` opens
+        # a block, so test in initializer position.
+        d = stmt0("var D = {0..3, 0..5};")
+        assert isinstance(d.init, A.DomainLit) and len(d.init.dims) == 2
+
+    def test_new_expression(self):
+        e = expr_of("new Part(0.0, z)")
+        assert isinstance(e, A.New) and e.type_name == "Part"
+
+    def test_reduce_expressions(self):
+        e = expr_of("+ reduce A")
+        assert isinstance(e, A.Reduce) and e.op == "+"
+        e = expr_of("max reduce A")
+        assert isinstance(e, A.Reduce) and e.op == "max"
+
+    def test_if_expression(self):
+        # if-expressions live in expression position (`if` at statement
+        # start begins an if statement).
+        s = stmt0("x = if a then 1 else 2;")
+        assert isinstance(s, A.Assign)
+        assert isinstance(s.value, A.IfExpr)
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "src",
+        [
+            "var x: = 3;",
+            "proc () { }",
+            "if { }",
+            "for in 0..3 { }",
+            "x = ;",
+            "select x { when { } }",
+            "record { }",
+            "proc f( { }",
+            "var a: int = 1",  # missing semicolon
+        ],
+    )
+    def test_malformed(self, src):
+        with pytest.raises(ParseError):
+            parse(src)
+
+    def test_unterminated_block(self):
+        with pytest.raises(ParseError):
+            parse("proc f() { var x = 1;")
+
+    def test_error_carries_location(self):
+        with pytest.raises(ParseError) as exc:
+            parse("var x = \n  ;")
+        assert exc.value.loc is not None
+        assert exc.value.loc.line == 2

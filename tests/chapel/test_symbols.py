@@ -1,0 +1,61 @@
+"""Scope / symbol table tests."""
+
+import pytest
+
+from repro.chapel.errors import NameError_
+from repro.chapel.symbols import Scope, Symbol
+from repro.chapel.types import INT, REAL
+
+
+def sym(name, kind="var", **kw):
+    return Symbol(name, INT, kind, **kw)
+
+
+class TestScope:
+    def test_define_and_lookup(self):
+        s = Scope()
+        s.define(sym("x"))
+        assert s.lookup("x") is not None
+        assert s.lookup("y") is None
+
+    def test_duplicate_rejected(self):
+        s = Scope()
+        s.define(sym("x"))
+        with pytest.raises(NameError_):
+            s.define(sym("x"))
+
+    def test_shadowing_in_child(self):
+        outer = Scope()
+        outer.define(sym("x"))
+        inner = outer.child()
+        inner.define(Symbol("x", REAL, "var"))
+        assert inner.lookup("x").type == REAL
+        assert outer.lookup("x").type == INT
+
+    def test_resolve_raises(self):
+        with pytest.raises(NameError_):
+            Scope().resolve("missing")
+
+    def test_chain_lookup(self):
+        a = Scope()
+        a.define(sym("g"))
+        c = a.child().child().child()
+        assert c.lookup("g") is not None
+
+    def test_iter_local_excludes_parent(self):
+        outer = Scope()
+        outer.define(sym("a"))
+        inner = outer.child()
+        inner.define(sym("b"))
+        assert [s.name for s in inner.iter_local()] == ["b"]
+
+
+class TestSymbolFlags:
+    def test_global(self):
+        assert Symbol("g", INT, "global").is_global
+        assert not Symbol("l", INT, "var").is_global
+
+    def test_ref_formal(self):
+        assert Symbol("p", INT, "formal", intent="ref").is_ref_formal
+        assert not Symbol("p", INT, "formal", intent="in").is_ref_formal
+        assert not Symbol("p", INT, "var", intent="ref").is_ref_formal

@@ -1,0 +1,107 @@
+"""Semantic type tests: unification, assignability, slot counting."""
+
+import pytest
+
+from repro.chapel.types import (
+    BOOL,
+    INT,
+    REAL,
+    STRING,
+    ArrayType,
+    DomainType,
+    IntType,
+    RealType,
+    RecordType,
+    TupleType,
+    assignable,
+    storage_slots,
+    unify_numeric,
+)
+
+V3 = TupleType((REAL, REAL, REAL))
+ATOM = RecordType("atom", (("v", V3), ("f", V3)))
+PART = RecordType("Part", (("residue", REAL),), is_class=True)
+
+
+class TestUnify:
+    def test_same_types(self):
+        assert unify_numeric(INT, INT) == INT
+        assert unify_numeric(REAL, REAL) == REAL
+
+    def test_int_real_promotes(self):
+        assert isinstance(unify_numeric(INT, REAL), RealType)
+        assert isinstance(unify_numeric(REAL, INT), RealType)
+
+    def test_width_promotion(self):
+        assert unify_numeric(IntType(32), IntType(64)) == IntType(64)
+
+    def test_non_numeric_fails(self):
+        assert unify_numeric(BOOL, INT) is None
+        assert unify_numeric(STRING, REAL) is None
+
+
+class TestAssignable:
+    def test_exact(self):
+        assert assignable(INT, INT)
+        assert assignable(V3, TupleType((REAL, REAL, REAL)))
+
+    def test_int_to_real_widens(self):
+        assert assignable(REAL, INT)
+        assert not assignable(INT, REAL)
+
+    def test_int_widths_interchange(self):
+        assert assignable(IntType(32), IntType(64))
+        assert assignable(IntType(64), IntType(32))
+
+    def test_tuple_elementwise(self):
+        assert assignable(V3, TupleType((INT, INT, INT)))
+        assert not assignable(V3, TupleType((REAL, REAL)))
+
+    def test_array_by_rank_and_elem(self):
+        assert assignable(ArrayType(REAL, 1), ArrayType(REAL, 1))
+        assert not assignable(ArrayType(REAL, 1), ArrayType(REAL, 2))
+        assert not assignable(ArrayType(REAL, 1), ArrayType(BOOL, 1))
+
+
+class TestArrayTypeEquality:
+    def test_domain_name_is_presentation_only(self):
+        a = ArrayType(REAL, 1, domain_name="D")
+        b = ArrayType(REAL, 1, domain_name="E")
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_str_shows_domain_name(self):
+        assert str(ArrayType(V3, 2, domain_name="PosSpace")) == "[PosSpace] 3*real"
+
+
+class TestStorageSlots:
+    def test_scalars(self):
+        assert storage_slots(INT) == 1
+        assert storage_slots(REAL) == 1
+
+    def test_tuple(self):
+        assert storage_slots(V3) == 3
+        assert storage_slots(TupleType((V3, V3))) == 6
+
+    def test_record_flattens(self):
+        assert storage_slots(ATOM) == 6
+
+    def test_class_is_a_pointer(self):
+        assert storage_slots(PART) == 1
+
+    def test_array_is_a_descriptor(self):
+        assert storage_slots(ArrayType(REAL, 1)) == 1
+
+
+class TestRecordType:
+    def test_field_lookup(self):
+        assert ATOM.field_type("v") == V3
+        assert ATOM.field_index("f") == 1
+        assert ATOM.field_type("nope") is None
+        assert ATOM.field_index("nope") is None
+
+    def test_str_forms(self):
+        assert str(V3) == "3*real"
+        assert str(TupleType((INT, REAL))) == "(int, real)"
+        assert str(DomainType(2)) == "domain(2)"
+        assert str(IntType(32)) == "int(32)"

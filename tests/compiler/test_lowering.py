@@ -1,0 +1,311 @@
+"""Lowering tests: AST → IR shape and semantics checks."""
+
+import pytest
+
+from repro.chapel.errors import NameError_, TypeError_
+from repro.compiler.lower import compile_source
+from repro.ir import instructions as I
+
+import sys, os
+sys.path.insert(0, os.path.dirname(os.path.dirname(__file__)))
+from conftest import output_of, run_src
+
+
+def instrs_of(module, fn_name):
+    return list(module.functions[fn_name].instructions())
+
+
+class TestModuleStructure:
+    def test_globals_registered(self):
+        m = compile_source("var g: int = 1;\nconfig const n: int = 4;")
+        assert "g" in m.globals
+        assert m.globals["n"].is_config
+
+    def test_module_init_exists_and_is_artificial(self):
+        m = compile_source("var g: int = 1;")
+        assert m.global_init is not None
+        assert m.global_init.is_artificial
+
+    def test_main_detected(self):
+        m = compile_source("proc main() { }")
+        assert m.main is m.functions["main"]
+
+    def test_records_registered(self):
+        m = compile_source("record R { var a: int; }\nclass C { var b: real; }")
+        assert not m.records["R"].is_class
+        assert m.records["C"].is_class
+
+    def test_source_stored(self):
+        m = compile_source("var x: int = 1;", "prog.chpl")
+        assert "prog.chpl" in m.sources
+
+
+class TestDebugBindings:
+    def test_alloca_carries_variable_name(self):
+        m = compile_source("proc main() { var counter: int = 0; }")
+        allocas = [i for i in instrs_of(m, "main") if isinstance(i, I.Alloca)]
+        assert any(a.var_name == "counter" and not a.is_temp for a in allocas)
+
+    def test_temporaries_flagged(self):
+        m = compile_source(
+            "proc main() { var x = 1; select x { when 1 { } } }"
+        )
+        allocas = [i for i in instrs_of(m, "main") if isinstance(i, I.Alloca)]
+        assert any(a.is_temp for a in allocas)
+
+    def test_formal_home_marked(self):
+        m = compile_source("proc f(x: int): int { return x; }")
+        allocas = [i for i in instrs_of(m, "f") if isinstance(i, I.Alloca)]
+        assert any(a.formal_home == "x" for a in allocas)
+
+    def test_line_numbers_preserved(self):
+        src = "proc main() {\nvar a: int = 1;\nvar b: int = 2;\n}"
+        m = compile_source(src)
+        lines = {i.loc.line for i in instrs_of(m, "main")}
+        assert {2, 3} <= lines
+
+
+class TestOutlining:
+    def test_forall_outlined(self):
+        m = compile_source(
+            "var D: domain(1) = {0..7};\n"
+            "var A: [D] real;\n"
+            "proc main() { forall i in D { A[i] = 1.0; } }"
+        )
+        outlined = [f for f in m.functions.values() if f.outlined_from == "main"]
+        assert len(outlined) == 1
+        assert outlined[0].name.startswith("forall_fn_chpl")
+        spawns = [i for i in instrs_of(m, "main") if isinstance(i, I.SpawnJoin)]
+        assert len(spawns) == 1
+        assert spawns[0].kind == "forall"
+
+    def test_coforall_kind(self):
+        m = compile_source("proc main() { coforall t in 0..3 { } }")
+        spawns = [i for i in instrs_of(m, "main") if isinstance(i, I.SpawnJoin)]
+        assert spawns[0].kind == "coforall"
+
+    def test_captures_become_ref_params(self):
+        m = compile_source(
+            "var D: domain(1) = {0..3};\n"
+            "proc main() { var total: real = 0.0; forall i in D { total = total + i; } }"
+        )
+        outlined = next(f for f in m.functions.values() if f.outlined_from == "main")
+        cap = [p for p in outlined.params if p.name == "total"]
+        assert cap and cap[0].intent == "ref"
+
+    def test_globals_not_captured(self):
+        m = compile_source(
+            "var D: domain(1) = {0..3};\nvar G: [D] real;\n"
+            "proc main() { forall i in D { G[i] = 1.0; } }"
+        )
+        outlined = next(f for f in m.functions.values() if f.outlined_from == "main")
+        assert all(p.name != "G" for p in outlined.params)
+
+
+class TestParamLoops:
+    def test_param_loop_unrolled(self):
+        m = compile_source(
+            "proc main() { var t: 4*real; for param i in 0..3 { t[i] = 1.0; } }"
+        )
+        # No branches from the unrolled loop: main has a single block.
+        cbrs = [i for i in instrs_of(m, "main") if isinstance(i, I.CBr)]
+        assert not cbrs
+        # Four distinct constant-index tuple stores.
+        addrs = [i for i in instrs_of(m, "main") if isinstance(i, I.TupleElemAddr)]
+        consts = {a.index.value for a in addrs if isinstance(a.index, I.Constant)}
+        assert consts == {0, 1, 2, 3}
+
+    def test_param_loop_requires_const_bounds(self):
+        with pytest.raises(TypeError_):
+            compile_source(
+                "proc main() { var n = 3; for param i in 0..n { } }"
+            )
+
+
+class TestTypeChecking:
+    @pytest.mark.parametrize(
+        "src,err",
+        [
+            ("proc main() { var x: int = 1; x = true; }", TypeError_),
+            ("proc main() { undefined_thing(); }", NameError_),
+            ("proc main() { var y = nothere; }", NameError_),
+            ("proc main() { if 3 { } }", TypeError_),
+            ("proc f(x) { }", TypeError_),  # untyped param
+            ("proc f(): int { }", TypeError_),  # falls off end
+            ("proc main() { var t: 3*real; t[0] = 1.0; t = 2; }", TypeError_),
+            ("proc main() { break; }", TypeError_),
+            ("proc main() { var x = 1; x[0] = 2; }", TypeError_),
+            ("record R { var a: int; }\nproc main() { var r: R; r.nope = 1; }", TypeError_),
+            ("proc f(x: int) { }\nproc main() { f(1, 2); }", TypeError_),
+            ("proc main() { param p = 3; p = 4; }", TypeError_),
+        ],
+    )
+    def test_rejected(self, src, err):
+        with pytest.raises(err):
+            compile_source(src)
+
+    def test_nested_proc_capture_rejected(self):
+        src = (
+            "proc outer() { var secret = 1; "
+            "proc inner(): int { return secret; } }"
+        )
+        with pytest.raises(TypeError_, match="captures"):
+            compile_source(src)
+
+    def test_int_to_real_coercion_ok(self):
+        m = compile_source("proc main() { var r: real = 3; }")
+        assert m is not None
+
+    def test_duplicate_proc_rejected(self):
+        with pytest.raises(NameError_):
+            compile_source("proc f() { }\nproc f() { }")
+
+    def test_duplicate_global_rejected(self):
+        with pytest.raises(NameError_):
+            compile_source("var g: int = 1;\nvar g: int = 2;")
+
+
+class TestSemantics:
+    """Lowered-and-executed behavior checks (semantics via output)."""
+
+    def test_arithmetic_and_precedence(self):
+        assert output_of("proc main() { writeln(2 + 3 * 4); }") == ["14"]
+        assert output_of("proc main() { writeln((2 + 3) * 4); }") == ["20"]
+        assert output_of("proc main() { writeln(2 ** 3 ** 2); }") == ["512"]
+
+    def test_integer_division_truncates(self):
+        assert output_of("proc main() { writeln(7 / 2); }") == ["3"]
+        assert output_of("proc main() { writeln(-7 / 2); }") == ["-3"]
+        assert output_of("proc main() { writeln(7 % 3); }") == ["1"]
+
+    def test_real_division(self):
+        assert output_of("proc main() { writeln(7.0 / 2.0); }") == ["3.5"]
+
+    def test_short_circuit_and(self):
+        src = """
+proc sideEffect(): bool {
+  writeln("evaluated");
+  return true;
+}
+proc main() {
+  if false && sideEffect() { writeln("yes"); }
+  writeln("done");
+}
+"""
+        assert output_of(src) == ["done"]
+
+    def test_short_circuit_or(self):
+        src = """
+proc sideEffect(): bool {
+  writeln("evaluated");
+  return false;
+}
+proc main() {
+  if true || sideEffect() { writeln("yes"); }
+}
+"""
+        assert output_of(src) == ["yes"]
+
+    def test_if_expr(self):
+        assert output_of(
+            "proc main() { var x = 5; writeln(if x > 3 then 10 else 20); }"
+        ) == ["10"]
+
+    def test_while_loop(self):
+        src = "proc main() { var i = 0; while i < 5 { i += 1; } writeln(i); }"
+        assert output_of(src) == ["5"]
+
+    def test_select_when(self):
+        src = """
+proc classify(x: int): int {
+  select x {
+    when 1 do return 100;
+    when 2, 3 do return 200;
+    otherwise return 300;
+  }
+  return 0;
+}
+proc main() {
+  writeln(classify(1), classify(2), classify(3), classify(9));
+}
+"""
+        assert output_of(src) == ["100 200 200 300"]
+
+    def test_break_continue(self):
+        src = """
+proc main() {
+  var s = 0;
+  for i in 1..10 {
+    if i == 3 then continue;
+    if i == 6 then break;
+    s += i;
+  }
+  writeln(s);
+}
+"""
+        # 1+2+4+5 = 12
+        assert output_of(src) == ["12"]
+
+    def test_range_by_step(self):
+        src = "proc main() { var s = 0; for i in 0..10 by 2 { s += i; } writeln(s); }"
+        assert output_of(src) == ["30"]
+
+    def test_counted_range(self):
+        src = "proc main() { var s = 0; for i in 5..#3 { s += i; } writeln(s); }"
+        assert output_of(src) == ["18"]  # 5+6+7
+
+    def test_recursion(self):
+        src = """
+proc fib(n: int): int {
+  if n < 2 then return n;
+  return fib(n - 1) + fib(n - 2);
+}
+proc main() { writeln(fib(10)); }
+"""
+        assert output_of(src) == ["55"]
+
+    def test_ref_param_writes_through(self):
+        src = """
+proc bump(ref x: int, amount: int) { x += amount; }
+proc main() { var v = 10; bump(v, 5); writeln(v); }
+"""
+        assert output_of(src) == ["15"]
+
+    def test_out_intent(self):
+        src = """
+proc produce(out r: real) { r = 2.5; }
+proc main() { var v = 0.0; produce(v); writeln(v); }
+"""
+        assert output_of(src) == ["2.5"]
+
+    def test_module_level_statements_run_before_main(self):
+        src = """
+var g: int = 7;
+writeln("init", g);
+proc main() { writeln("main", g); }
+"""
+        assert output_of(src) == ["init 7", "main 7"]
+
+    def test_reduce_sum_product_minmax(self):
+        src = """
+var A: [0..4] int;
+proc main() {
+  for i in 0..4 { A[i] = i + 1; }
+  writeln(+ reduce A);
+  writeln(* reduce A);
+  writeln(min reduce A, max reduce A);
+}
+"""
+        assert output_of(src) == ["15", "120", "1 5"]
+
+    def test_config_override(self):
+        src = "config const n: int = 3;\nproc main() { writeln(n); }"
+        assert output_of(src) == ["3"]
+        assert output_of(src, config={"n": 11}) == ["11"]
+
+    def test_config_real_and_bool(self):
+        src = (
+            "config const s: real = 1.5;\nconfig const flag: bool = false;\n"
+            "proc main() { writeln(s, flag); }"
+        )
+        assert output_of(src, config={"s": 2.5, "flag": True}) == ["2.5 true"]

@@ -1,0 +1,140 @@
+"""`forall ... with (op reduce x)` intent tests (Chapel reduction
+intents: per-task private accumulators combined at the join)."""
+
+import pytest
+
+from repro.chapel.errors import NameError_, ParseError, TypeError_
+from repro.compiler.lower import compile_source
+
+import sys, os
+sys.path.insert(0, os.path.dirname(os.path.dirname(__file__)))
+from conftest import output_of
+
+
+class TestReduceIntents:
+    def test_sum_reduce(self):
+        src = """
+proc main() {
+  var total = 0;
+  forall i in 1..100 with (+ reduce total) {
+    total += i;
+  }
+  writeln(total);
+}
+"""
+        assert output_of(src) == ["5050"]
+
+    def test_result_independent_of_thread_count(self):
+        # Float reduction: combine order varies with the chunking (as
+        # in Chapel), so compare numerically, not bitwise.
+        src = """
+proc main() {
+  var total = 0.0;
+  forall i in 0..199 with (+ reduce total) {
+    total += sqrt(i * 1.0);
+  }
+  writeln(total);
+}
+"""
+        values = [
+            float(output_of(src, num_threads=n)[0]) for n in (1, 4, 12)
+        ]
+        assert max(values) - min(values) < 1e-9 * max(values)
+
+    def test_int_reduction_bitwise_reproducible(self):
+        src = """
+proc main() {
+  var total = 0;
+  forall i in 1..500 with (+ reduce total) {
+    total += i;
+  }
+  writeln(total);
+}
+"""
+        outs = {tuple(output_of(src, num_threads=n)) for n in (1, 4, 12)}
+        assert outs == {("125250",)}
+
+    def test_multiple_intents(self):
+        src = """
+proc main() {
+  var s = 0;
+  var p = 1;
+  forall i in 1..6 with (+ reduce s, * reduce p) {
+    s += i;
+    p *= i;
+  }
+  writeln(s, p);
+}
+"""
+        assert output_of(src) == ["21 720"]
+
+    def test_min_max_reduce(self):
+        src = """
+var A: [0..49] real;
+proc main() {
+  forall i in 0..49 { A[i] = cos(i * 1.0); }
+  var lo = 99.0;
+  var hi = -99.0;
+  forall i in 0..49 with (min reduce lo, max reduce hi) {
+    if A[i] < lo then lo = A[i];
+    if A[i] > hi then hi = A[i];
+  }
+  writeln(lo >= -1.0 && lo < -0.9, hi <= 1.0 && hi > 0.9);
+}
+"""
+        assert output_of(src) == ["true true"]
+
+    def test_global_reduce_variable(self):
+        src = """
+var gsum: int = 100;
+proc main() {
+  forall i in 1..10 with (+ reduce gsum) {
+    gsum += i;
+  }
+  writeln(gsum);
+}
+"""
+        # existing value participates in the combine
+        assert output_of(src) == ["155"]
+
+    def test_coforall_with_reduce(self):
+        src = """
+proc main() {
+  var n = 0;
+  coforall t in 0..7 with (+ reduce n) {
+    n += 1;
+  }
+  writeln(n);
+}
+"""
+        assert output_of(src) == ["8"]
+
+
+class TestReduceIntentErrors:
+    def test_with_on_serial_for_rejected(self):
+        with pytest.raises(ParseError, match="parallel"):
+            compile_source(
+                "proc main() { var s = 0; for i in 1..3 with (+ reduce s) { } }"
+            )
+
+    def test_unknown_variable(self):
+        with pytest.raises(NameError_):
+            compile_source(
+                "proc main() { forall i in 1..3 with (+ reduce ghost) { } }"
+            )
+
+    def test_non_numeric_rejected(self):
+        src = """
+var D: domain(1) = {0..3};
+proc main() {
+  forall i in 0..3 with (+ reduce D) { }
+}
+"""
+        with pytest.raises(TypeError_, match="numeric"):
+            compile_source(src)
+
+    def test_bad_operator(self):
+        with pytest.raises(ParseError):
+            compile_source(
+                "proc main() { var s = 0; forall i in 1..3 with (xor reduce s) { } }"
+            )

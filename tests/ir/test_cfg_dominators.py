@@ -1,0 +1,207 @@
+"""CFG, dominator/post-dominator, and control-dependence tests —
+including a hypothesis property suite over random CFGs."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chapel.tokens import SourceLocation
+from repro.chapel.types import BOOL, INT, VOID
+from repro.ir import CFG, Constant, Function, IRBuilder, control_dependence, dominator_tree, postdominator_tree
+from repro.ir import instructions as I
+
+LOC = SourceLocation("t.chpl", 1, 1)
+
+
+def diamond():
+    """entry → (then|else) → merge(ret)."""
+    fn = Function("d", [], VOID, LOC)
+    b = IRBuilder(fn)
+    entry = b.new_block("entry")
+    then_b = b.new_block("then")
+    else_b = b.new_block("else")
+    merge = b.new_block("merge")
+    b.set_block(entry)
+    b.cbr(LOC, Constant(BOOL, True), then_b, else_b)
+    b.set_block(then_b)
+    b.br(LOC, merge)
+    b.set_block(else_b)
+    b.br(LOC, merge)
+    b.set_block(merge)
+    b.ret(LOC)
+    return fn, entry, then_b, else_b, merge
+
+
+def loop_fn():
+    """entry → header ⇄ body; header → exit."""
+    fn = Function("l", [], VOID, LOC)
+    b = IRBuilder(fn)
+    entry = b.new_block("entry")
+    header = b.new_block("header")
+    body = b.new_block("body")
+    exit_b = b.new_block("exit")
+    b.set_block(entry)
+    b.br(LOC, header)
+    b.set_block(header)
+    b.cbr(LOC, Constant(BOOL, True), body, exit_b)
+    b.set_block(body)
+    b.br(LOC, header)
+    b.set_block(exit_b)
+    b.ret(LOC)
+    return fn, entry, header, body, exit_b
+
+
+class TestCFG:
+    def test_preds_and_succs(self):
+        fn, entry, then_b, else_b, merge = diamond()
+        cfg = CFG(fn)
+        assert set(cfg.succs[entry]) == {then_b, else_b}
+        assert set(cfg.preds[merge]) == {then_b, else_b}
+
+    def test_reverse_postorder_starts_at_entry(self):
+        fn, entry, *_ = diamond()
+        rpo = CFG(fn).reverse_postorder()
+        assert rpo[0] is entry
+        assert len(rpo) == 4
+
+    def test_reachability_excludes_orphans(self):
+        fn, *_ = diamond()
+        orphan = fn.add_block(type(fn.entry)("orphan"))
+        b = IRBuilder(fn)
+        b.set_block(orphan)
+        b.ret(LOC)
+        cfg = CFG(fn)
+        assert orphan not in cfg.reachable()
+
+    def test_exit_blocks(self):
+        fn, *_, merge = diamond()
+        assert CFG(fn).exit_blocks() == [merge]
+
+
+class TestDominators:
+    def test_diamond(self):
+        fn, entry, then_b, else_b, merge = diamond()
+        dt = dominator_tree(CFG(fn))
+        assert dt.idom[merge] is entry
+        assert dt.dominates(entry, merge)
+        assert not dt.dominates(then_b, merge)
+        assert dt.dominates(merge, merge)  # reflexive
+
+    def test_loop(self):
+        fn, entry, header, body, exit_b = loop_fn()
+        dt = dominator_tree(CFG(fn))
+        assert dt.idom[body] is header
+        assert dt.idom[exit_b] is header
+        assert dt.dominates(header, body)
+
+    def test_postdominators_diamond(self):
+        fn, entry, then_b, else_b, merge = diamond()
+        pdt, vexit = postdominator_tree(CFG(fn))
+        assert pdt.idom[entry] is merge
+        assert pdt.idom[then_b] is merge
+
+
+class TestControlDependence:
+    def test_diamond_branches_depend_on_entry(self):
+        fn, entry, then_b, else_b, merge = diamond()
+        deps = control_dependence(CFG(fn))
+        assert deps[then_b] == {entry}
+        assert deps[else_b] == {entry}
+        assert deps[merge] == set()
+
+    def test_loop_body_depends_on_header(self):
+        fn, entry, header, body, exit_b = loop_fn()
+        deps = control_dependence(CFG(fn))
+        assert header in deps[body]
+        # the loop header controls its own re-execution
+        assert header in deps[header]
+        assert deps[exit_b] == set()
+
+
+# ---------------------------------------------------------------------------
+# Property-based: random structured CFGs
+# ---------------------------------------------------------------------------
+
+
+def random_cfg(edge_choices: list[int], n_blocks: int) -> Function:
+    """Builds a function with n_blocks, each ending in a cbr/br whose
+    targets come from edge_choices (indices mod n_blocks). Last block
+    rets."""
+    fn = Function("rnd", [], VOID, LOC)
+    b = IRBuilder(fn)
+    blocks = [b.new_block(f"b{i}") for i in range(n_blocks)]
+    it = iter(edge_choices)
+    for i, blk in enumerate(blocks):
+        b.set_block(blk)
+        if i == n_blocks - 1:
+            b.ret(LOC)
+            continue
+        t1 = blocks[next(it) % n_blocks]
+        t2 = blocks[next(it) % n_blocks]
+        b.cbr(LOC, Constant(BOOL, True), t1, t2)
+    return fn
+
+
+@given(
+    st.integers(min_value=2, max_value=8).flatmap(
+        lambda n: st.tuples(
+            st.just(n),
+            st.lists(
+                st.integers(min_value=0, max_value=7),
+                min_size=2 * n,
+                max_size=2 * n,
+            ),
+        )
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_dominator_properties(data):
+    n, edges = data
+    fn = random_cfg(edges, n)
+    cfg = CFG(fn)
+    dt = dominator_tree(cfg)
+    reachable = cfg.reachable()
+
+    # Entry dominates every reachable block.
+    for blk in reachable:
+        assert dt.dominates(cfg.entry, blk)
+
+    # idom(b) is a strict dominator of b and is reachable.
+    for blk in reachable:
+        if blk is cfg.entry:
+            continue
+        idom = dt.idom.get(blk)
+        assert idom in reachable
+        assert dt.dominates(idom, blk)
+
+    # Every non-entry reachable block's predecessors that are reachable:
+    # a block dominates its successor unless the successor has another
+    # path — weaker sanity: domination is antisymmetric.
+    for a in reachable:
+        for b2 in reachable:
+            if a is not b2 and dt.dominates(a, b2):
+                assert not dt.dominates(b2, a)
+
+
+@given(
+    st.integers(min_value=2, max_value=8).flatmap(
+        lambda n: st.tuples(
+            st.just(n),
+            st.lists(
+                st.integers(min_value=0, max_value=7),
+                min_size=2 * n,
+                max_size=2 * n,
+            ),
+        )
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_control_dependence_sources_are_branches(data):
+    n, edges = data
+    fn = random_cfg(edges, n)
+    cfg = CFG(fn)
+    deps = control_dependence(cfg)
+    for blk, controllers in deps.items():
+        for c in controllers:
+            # only multi-successor blocks can control anything
+            assert len(cfg.succs[c]) >= 2

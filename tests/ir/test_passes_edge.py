@@ -1,0 +1,130 @@
+"""Extra edge-case tests for the optimization passes over hand-crafted
+and compiled IR."""
+
+import pytest
+
+from repro.compiler.lower import compile_source
+from repro.compiler.passes.constant_fold import constant_fold
+from repro.compiler.passes.dce import dead_code_eliminate
+from repro.compiler.passes.simplify_cfg import simplify_cfg
+from repro.ir import instructions as I
+from repro.ir.verifier import verify_module
+from repro.runtime.interpreter import Interpreter
+
+
+def run(m, config=None):
+    return Interpreter(m, config=config, num_threads=2).run()
+
+
+class TestSimplifyCFGEdges:
+    def test_entry_block_never_merged_away(self):
+        m = compile_source("proc main() { if true { writeln(1); } }")
+        constant_fold(m)
+        simplify_cfg(m)
+        verify_module(m)
+        assert m.functions["main"].entry is m.functions["main"].blocks[0]
+        assert run(m).output == ["1"]
+
+    def test_self_loop_not_merged(self):
+        # while true { } has a self-edge; the merger must skip it.
+        m = compile_source(
+            "proc main() { var i = 0; while i < 3 { i += 1; } writeln(i); }"
+        )
+        simplify_cfg(m)
+        verify_module(m)
+        assert run(m).output == ["3"]
+
+    def test_select_chain_simplifies_under_constants(self):
+        m = compile_source(
+            """
+proc main() {
+  var x = 2;
+  select x {
+    when 1 { writeln("one"); }
+    when 2 { writeln("two"); }
+    otherwise { writeln("other"); }
+  }
+}
+"""
+        )
+        from repro.compiler.passes import run_fast_pipeline
+
+        run_fast_pipeline(m)
+        verify_module(m)
+        assert run(m).output == ["two"]
+
+
+class TestDCEEdges:
+    def test_keeps_makearray_that_escapes(self):
+        m = compile_source(
+            """
+var A: [0..3] real;
+proc main() { A[0] = 1.0; writeln(A[0]); }
+"""
+        )
+        dead_code_eliminate(m)
+        verify_module(m)
+        assert run(m).output == ["1.0"]
+
+    def test_removes_unobserved_allocation(self):
+        m = compile_source(
+            "proc main() { var t: [0..99] real; writeln(5); }"
+        )
+        before = sum(
+            1
+            for i in m.functions["main"].instructions()
+            if isinstance(i, I.MakeArray)
+        )
+        dead_code_eliminate(m)
+        after = sum(
+            1
+            for i in m.functions["main"].instructions()
+            if isinstance(i, I.MakeArray)
+        )
+        assert before == 1 and after == 0
+        assert run(m).output == ["5"]
+
+    def test_spawnjoin_never_removed(self):
+        m = compile_source(
+            """
+var A: [0..7] real;
+proc main() {
+  forall i in 0..7 { A[i] = 1.0; }
+  writeln(+ reduce A);
+}
+"""
+        )
+        dead_code_eliminate(m)
+        verify_module(m)
+        assert run(m).output == ["8.0"]
+
+
+class TestConstantFoldEdges:
+    def test_fold_cascades_through_chains(self):
+        m = compile_source("proc main() { writeln(((1 + 2) * (3 + 4)) - 21); }")
+        constant_fold(m)
+        dead_code_eliminate(m)
+        binops = [
+            i for i in m.functions["main"].instructions() if isinstance(i, I.BinOp)
+        ]
+        assert not binops
+        assert run(m).output == ["0"]
+
+    def test_fold_preserves_branch_semantics(self):
+        m = compile_source(
+            """
+proc main() {
+  if 2 < 1 { writeln("impossible"); } else { writeln("sane"); }
+}
+"""
+        )
+        constant_fold(m)
+        simplify_cfg(m)
+        verify_module(m)
+        assert run(m).output == ["sane"]
+
+    def test_bool_ops_fold(self):
+        m = compile_source("proc main() { var a = true; writeln(!a); }")
+        constant_fold(m)
+        verify_module(m)
+        assert run(m).output == ["false"]

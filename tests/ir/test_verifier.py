@@ -1,0 +1,138 @@
+"""IR verifier tests: every structural invariant has a violation test."""
+
+import pytest
+
+from repro.chapel.tokens import SourceLocation
+from repro.chapel.types import BOOL, INT, VOID
+from repro.ir import (
+    BasicBlock,
+    Constant,
+    Function,
+    IRBuilder,
+    Module,
+    Register,
+    VerificationError,
+    verify_function,
+    verify_module,
+)
+from repro.ir import instructions as I
+
+LOC = SourceLocation("t.chpl", 1, 1)
+
+
+def valid_fn(name="ok"):
+    fn = Function(name, [], VOID, LOC)
+    b = IRBuilder(fn)
+    b.set_block(b.new_block("entry"))
+    b.ret(LOC)
+    return fn
+
+
+class TestVerifyFunction:
+    def test_valid_passes(self):
+        verify_function(valid_fn())
+
+    def test_no_blocks(self):
+        fn = Function("empty", [], VOID, LOC)
+        with pytest.raises(VerificationError, match="no blocks"):
+            verify_function(fn)
+
+    def test_missing_terminator(self):
+        fn = Function("f", [], VOID, LOC)
+        b = IRBuilder(fn)
+        blk = b.new_block("entry")
+        b.set_block(blk)
+        b.alloca(LOC, INT, "x")
+        with pytest.raises(VerificationError, match="terminator"):
+            verify_function(fn)
+
+    def test_empty_block(self):
+        fn = valid_fn()
+        fn.add_block(BasicBlock("empty"))
+        with pytest.raises(VerificationError, match="empty block"):
+            verify_function(fn)
+
+    def test_mid_block_terminator(self):
+        fn = Function("f", [], VOID, LOC)
+        b = IRBuilder(fn)
+        blk = b.new_block("entry")
+        b.set_block(blk)
+        ret1 = I.Ret(LOC)
+        ret2 = I.Ret(LOC)
+        blk.append(ret1)
+        blk.append(ret2)
+        with pytest.raises(VerificationError, match="mid-block"):
+            verify_function(fn)
+
+    def test_branch_to_foreign_block(self):
+        fn = Function("f", [], VOID, LOC)
+        other = valid_fn("other")
+        b = IRBuilder(fn)
+        blk = b.new_block("entry")
+        b.set_block(blk)
+        b.br(LOC, other.entry)
+        with pytest.raises(VerificationError, match="foreign"):
+            verify_function(fn)
+
+    def test_use_of_undefined_register(self):
+        fn = Function("f", [], VOID, LOC)
+        b = IRBuilder(fn)
+        blk = b.new_block("entry")
+        b.set_block(blk)
+        ghost = Register(INT)
+        blk.append(I.Store(LOC, ghost, ghost))
+        blk.append(I.Ret(LOC))
+        with pytest.raises(VerificationError, match="undefined register"):
+            verify_function(fn)
+
+    def test_nonvoid_ret_without_value(self):
+        fn = Function("f", [], INT, LOC)
+        b = IRBuilder(fn)
+        b.set_block(b.new_block("entry"))
+        b.ret(LOC)  # missing value
+        with pytest.raises(VerificationError, match="without value"):
+            verify_function(fn)
+
+    def test_params_count_as_defined(self):
+        from repro.ir import FunctionParam
+
+        reg = Register(INT, hint="arg")
+        fn = Function("f", [FunctionParam("x", INT, "in", reg)], INT, LOC)
+        b = IRBuilder(fn)
+        b.set_block(b.new_block("entry"))
+        b.ret(LOC, reg)
+        verify_function(fn)
+
+
+class TestVerifyModule:
+    def test_call_to_unknown_function(self):
+        m = Module()
+        fn = Function("f", [], VOID, LOC)
+        m.add_function(fn)
+        b = IRBuilder(fn)
+        b.set_block(b.new_block("entry"))
+        b.call(LOC, "ghost_fn", [], VOID)
+        b.ret(LOC)
+        with pytest.raises(VerificationError, match="unknown function"):
+            verify_module(m)
+
+    def test_builtin_calls_allowed(self):
+        m = Module()
+        fn = Function("f", [], VOID, LOC)
+        m.add_function(fn)
+        b = IRBuilder(fn)
+        b.set_block(b.new_block("entry"))
+        b.call(LOC, "writeln", [Constant(INT, 1)], VOID, is_builtin=True)
+        b.ret(LOC)
+        verify_module(m)
+
+    def test_spawn_of_unknown_outlined(self):
+        m = Module()
+        fn = Function("f", [], VOID, LOC)
+        m.add_function(fn)
+        b = IRBuilder(fn)
+        b.set_block(b.new_block("entry"))
+        b.spawn_join(LOC, "missing_outlined", "forall", [Constant(INT, 0)], [])
+        b.ret(LOC)
+        with pytest.raises(VerificationError, match="unknown outlined"):
+            verify_module(m)

@@ -1,0 +1,94 @@
+"""Cost model tests: the relative-cost properties the reproduction
+depends on (zippered > direct, reindex surcharge, allocation weight,
+icache curve, memory stalls)."""
+
+import pytest
+
+from repro.runtime.costmodel import CLOCK_HZ, CostModel, DEFAULT_COST_MODEL
+
+import sys, os
+sys.path.insert(0, os.path.dirname(os.path.dirname(__file__)))
+from conftest import run_src
+
+
+class TestFunctionPenalty:
+    def test_below_threshold_is_one(self):
+        cm = CostModel()
+        assert cm.function_penalty(10) == 1.0
+        assert cm.function_penalty(cm.icache_instrs) == 1.0
+
+    def test_grows_monotonically(self):
+        cm = CostModel()
+        sizes = [cm.icache_instrs + k for k in (1, 200, 800, 5000)]
+        penalties = [cm.function_penalty(n) for n in sizes]
+        assert penalties == sorted(penalties)
+        assert penalties[0] > 1.0
+
+    def test_caps_at_max(self):
+        cm = CostModel()
+        assert cm.function_penalty(10**6) == 1.0 + cm.icache_max_penalty
+
+
+class TestRelativeCosts:
+    """Structural relations the paper's findings hinge on."""
+
+    def test_zippered_iteration_costs_more(self):
+        cm = DEFAULT_COST_MODEL
+        assert cm.iter_next_zip_extra > 0
+        assert cm.iter_init_zip_extra > 0
+
+    def test_array_iteration_beats_range_iteration_in_cost(self):
+        cm = DEFAULT_COST_MODEL
+        assert cm.iter_next_array > cm.iter_next_range
+
+    def test_reindex_surcharge(self):
+        assert DEFAULT_COST_MODEL.elem_addr_reindex_extra > 0
+
+    def test_class_field_dereference_cost(self):
+        assert DEFAULT_COST_MODEL.class_field_extra > DEFAULT_COST_MODEL.field_addr
+
+    def test_allocation_is_heavyweight(self):
+        cm = DEFAULT_COST_MODEL
+        assert cm.make_array_base > 100 * cm.store
+
+    def test_dynamic_indexing_surcharges(self):
+        cm = DEFAULT_COST_MODEL
+        assert cm.tuple_index_dynamic_extra > 0
+        assert cm.elem_addr_dynamic_extra > 0
+
+
+class TestCostModelDrivesTiming:
+    def test_custom_model_changes_wall_time(self):
+        src = """
+var A: [0..49] real;
+proc main() {
+  for i in 0..49 { A[i] = i * 1.0; }
+}
+"""
+        fast = run_src(src)
+        from repro.compiler.lower import compile_source
+        from repro.runtime.interpreter import Interpreter
+
+        expensive = CostModel(store=300)
+        m = compile_source(src, "t.chpl")
+        slow = Interpreter(m, num_threads=4, cost_model=expensive).run()
+        assert slow.wall_seconds > fast.wall_seconds * 2
+
+    def test_memory_stall_applies_above_llc(self):
+        # Big live heap → element accesses pay the stall.
+        src_big = """
+var A: [0..30000] real;
+proc main() {
+  var s = 0.0;
+  for i in 0..999 { s += A[i]; }
+  writeln(s);
+}
+"""
+        src_small = src_big.replace("0..30000", "0..2000")
+        big = run_src(src_big)
+        small = run_src(src_small)
+        # Same loop; the big-footprint version pays per-access stalls.
+        assert big.wall_seconds > small.wall_seconds * 1.5
+
+    def test_clock_hz_positive(self):
+        assert CLOCK_HZ > 0

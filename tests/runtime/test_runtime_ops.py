@@ -1,0 +1,222 @@
+"""Additional runtime operation tests: domain/range/array methods,
+output formatting, worker-task failure paths, edge semantics."""
+
+import pytest
+
+from repro.runtime.interpreter import ExecutionError
+
+import sys, os
+sys.path.insert(0, os.path.dirname(os.path.dirname(__file__)))
+from conftest import output_of, run_src
+
+
+class TestDomainRangeMethods:
+    def test_domain_size_low_high(self):
+        src = """
+var D: domain(1) = {3..12};
+proc main() { writeln(D.size(), D.low(), D.high()); }
+"""
+        assert output_of(src) == ["10 3 12"]
+
+    def test_domain_2d_low_high_tuples(self):
+        src = """
+var D: domain(2) = {1..4, 0..2};
+proc main() {
+  var lo = D.low();
+  var hi = D.high();
+  writeln(lo[0], lo[1], hi[0], hi[1]);
+}
+"""
+        assert output_of(src) == ["1 0 4 2"]
+
+    def test_domain_dim(self):
+        src = """
+var D: domain(2) = {1..4, 5..9};
+proc main() {
+  var r = D.dim(1);
+  writeln(r.low(), r.high(), r.size());
+}
+"""
+        assert output_of(src) == ["5 9 5"]
+
+    def test_expand_translate_interior(self):
+        src = """
+var D: domain(1) = {2..9};
+proc main() {
+  writeln(D.expand(2).size());
+  writeln(D.translate(10).low());
+  writeln(D.interior(1).size());
+}
+"""
+        assert output_of(src) == ["12", "12", "6"]
+
+    def test_range_methods(self):
+        src = "proc main() { var r = 0..20 by 5; writeln(r.size(), r.low(), r.high()); }"
+        assert output_of(src) == ["5 0 20"]
+
+    def test_array_size_and_domain(self):
+        src = """
+var A: [2..7] real;
+proc main() {
+  writeln(A.size());
+  writeln(A.domain().low());
+}
+"""
+        assert output_of(src) == ["6", "2"]
+
+
+class TestOutputFormatting:
+    def test_writeln_array(self):
+        src = """
+var A: [0..3] int;
+proc main() {
+  for i in 0..3 { A[i] = i * i; }
+  writeln(A);
+}
+"""
+        assert output_of(src) == ["0 1 4 9"]
+
+    def test_writeln_record(self):
+        src = """
+record P { var x: real; var y: real; }
+proc main() { writeln(new P(1.5, 2.5)); }
+"""
+        assert output_of(src) == ["(x = 1.5, y = 2.5)"]
+
+    def test_writeln_tuple_and_bool(self):
+        src = "proc main() { writeln((1, 2.5), true); }"
+        assert output_of(src) == ["(1, 2.5) true"]
+
+    def test_string_concat(self):
+        src = 'proc main() { writeln("a" + "b"); }'
+        assert output_of(src) == ["ab"]
+
+
+class TestWorkerFailures:
+    def test_runtime_error_in_worker_propagates(self):
+        src = """
+var A: [0..9] real;
+proc main() {
+  forall i in 0..9 {
+    A[i + 100] = 1.0;
+  }
+}
+"""
+        with pytest.raises(ExecutionError, match="out of bounds"):
+            run_src(src)
+
+    def test_halt_in_worker(self):
+        src = """
+proc main() {
+  forall i in 0..9 {
+    if i == 5 then halt("worker halt");
+  }
+}
+"""
+        r = run_src(src)
+        assert r.halted and "worker halt" in r.halt_message
+
+
+class TestEdgeSemantics:
+    def test_reduce_over_domain(self):
+        src = """
+var D: domain(1) = {1..10};
+proc main() { writeln(+ reduce D); }
+"""
+        assert output_of(src) == ["55"]
+
+    def test_iterate_2d_array_elements(self):
+        src = """
+var M: [0..1, 0..1] int;
+proc main() {
+  var k = 1;
+  for m in M {
+    m = k;
+    k += 1;
+  }
+  writeln(M[0, 0], M[0, 1], M[1, 0], M[1, 1]);
+}
+"""
+        assert output_of(src) == ["1 2 3 4"]
+
+    def test_select_on_strings(self):
+        src = """
+proc main() {
+  var s = "beta";
+  select s {
+    when "alpha" do writeln(1);
+    when "beta" do writeln(2);
+    otherwise writeln(0);
+  }
+}
+"""
+        assert output_of(src) == ["2"]
+
+    def test_negative_step_loop(self):
+        # The counted-loop fast path needs a *constant* negative step
+        # to pick the right comparison (documented restriction).
+        src = 'proc main() { for i in 5..1 by -1 { write(i); } writeln(""); }'
+        assert output_of(src) == ["54321"]
+
+    def test_while_with_do_form(self):
+        src = "proc main() { var n = 0; while n < 3 do n += 1; writeln(n); }"
+        assert output_of(src) == ["3"]
+
+    def test_deeply_nested_records(self):
+        src = """
+record Inner { var v: real; }
+record Mid { var inner: Inner; }
+record Outer { var mid: Mid; }
+var o: [0..1] Outer;
+proc main() {
+  o[1].mid.inner.v = 4.5;
+  writeln(o[1].mid.inner.v, o[0].mid.inner.v);
+}
+"""
+        assert output_of(src) == ["4.5 0.0"]
+
+    def test_record_param_copy_semantics(self):
+        src = """
+record P { var x: real; }
+proc tryMutate(p: P) { p.x = 99.0; }
+proc main() {
+  var r = new P(1.0);
+  tryMutate(r);
+  writeln(r.x);
+}
+"""
+        # records pass by value ("in" intent copies)
+        assert output_of(src) == ["1.0"]
+
+    def test_class_param_reference_semantics(self):
+        src = """
+class C { var x: real; }
+proc mutate(c: C) { c.x = 99.0; }
+proc main() {
+  var r = new C(1.0);
+  mutate(r);
+  writeln(r.x);
+}
+"""
+        assert output_of(src) == ["99.0"]
+
+    def test_slice_of_2d_row(self):
+        src = """
+var M: [0..3, 0..3] real;
+proc main() {
+  var row = M[2..2, 0..3];
+  row[2, 1] = 7.5;
+  writeln(M[2, 1]);
+}
+"""
+        assert output_of(src) == ["7.5"]
+
+    def test_empty_range_loop_body_never_runs(self):
+        src = """
+proc main() {
+  var hit = false;
+  for i in 10..0 { hit = true; }
+  writeln(hit);
+}
+"""
+        assert output_of(src) == ["false"]

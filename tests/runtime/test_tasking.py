@@ -1,0 +1,160 @@
+"""Tasking layer tests: chunking, spawn records, stack walks, scheduler
+determinism, idle accounting."""
+
+import pytest
+
+from repro.runtime.tasking import (
+    SCHED_YIELD,
+    Scheduler,
+    chunk_iteration_space,
+)
+from repro.runtime.values import ArrayChunk, ArrayValue, DomainChunk, DomainValue, RangeValue, RuntimeError_
+from repro.chapel.types import REAL
+
+import sys, os
+sys.path.insert(0, os.path.dirname(os.path.dirname(__file__)))
+from conftest import compile_src, profile_src, run_src
+
+
+def dom1(lo, hi):
+    return DomainValue((RangeValue(lo, hi),))
+
+
+class TestChunking:
+    def test_forall_chunks_are_contiguous_cover(self):
+        chunks = chunk_iteration_space([RangeValue(0, 99)], "forall", 8)
+        assert len(chunks) == 8
+        covered = []
+        for (c,) in chunks:
+            covered.extend(c.indices())
+        assert covered == list(range(100))
+
+    def test_forall_fewer_elements_than_tasks(self):
+        chunks = chunk_iteration_space([RangeValue(0, 2)], "forall", 12)
+        assert len(chunks) == 3
+
+    def test_coforall_one_per_index(self):
+        chunks = chunk_iteration_space([RangeValue(0, 4)], "coforall", 12)
+        assert len(chunks) == 5
+        assert all(c[0].size == 1 for c in chunks)
+
+    def test_domain_chunks(self):
+        d = DomainValue((RangeValue(0, 3), RangeValue(0, 3)))
+        chunks = chunk_iteration_space([d], "forall", 3)
+        total = sum(c[0].size for c in chunks)
+        assert total == 16
+        assert all(isinstance(c[0], DomainChunk) for c in chunks)
+
+    def test_array_chunks(self):
+        d = dom1(0, 9)
+        arr = ArrayValue(d, REAL, data=[0.0] * 10)
+        chunks = chunk_iteration_space([arr], "forall", 4)
+        assert all(isinstance(c[0], ArrayChunk) for c in chunks)
+        assert sum(c[0].size for c in chunks) == 10
+
+    def test_zippered_chunks_align(self):
+        a = ArrayValue(dom1(0, 9), REAL, data=[0.0] * 10)
+        chunks = chunk_iteration_space([a, RangeValue(0, 9)], "forall", 4)
+        for ac, rc in chunks:
+            assert ac.size == rc.size
+
+    def test_zippered_size_mismatch(self):
+        with pytest.raises(RuntimeError_, match="unequal"):
+            chunk_iteration_space([RangeValue(0, 9), RangeValue(0, 5)], "forall", 2)
+
+    def test_empty_space(self):
+        assert chunk_iteration_space([RangeValue(5, 4)], "forall", 4) == []
+
+
+class TestScheduler:
+    def test_requires_a_thread(self):
+        with pytest.raises(RuntimeError_):
+            Scheduler(0)
+
+    def test_spawn_tags_unique(self):
+        s = Scheduler(2)
+        tags = [s.next_spawn_tag() for _ in range(5)]
+        assert len(set(tags)) == 5
+
+    def test_pick_thread_min_clock(self):
+        s = Scheduler(3)
+        s.threads[0].clock = 100.0
+        s.threads[1].clock = 20.0
+        s.threads[2].clock = 20.0
+        assert s.pick_thread() is s.threads[1]  # ties broken by id
+
+
+class TestSpawnInstrumentation:
+    """The paper's §IV.B: spawn tags + pre-spawn stacks on samples."""
+
+    SRC = """
+var A: [0..39] real;
+proc work() {
+  forall i in 0..39 { A[i] = sqrt(i * 1.0) + i * i * 0.5 + cos(i * 0.1); }
+}
+proc main() { work(); }
+"""
+
+    def test_worker_samples_carry_spawn_tag_and_prestack(self):
+        res = profile_src(self.SRC, threshold=211, num_threads=4)
+        worker = [s for s in res.monitor.samples if s.spawn_tag is not None]
+        assert worker, "expected samples inside the forall"
+        for s in worker:
+            assert s.pre_spawn_stack is not None
+            funcs = [f for f, _ in s.pre_spawn_stack]
+            assert funcs[-1] == "main"
+            assert "work" in funcs
+
+    def test_nested_spawn_prestack_reaches_main(self):
+        src = """
+var D: domain(2) = {0..5, 0..5};
+var M: [D] real;
+proc main() {
+  forall i in 0..5 {
+    forall j in 0..5 { M[i, j] = i * j * 1.0 + sqrt(i + j + 1.0); }
+  }
+}
+"""
+        res = profile_src(src, threshold=157, num_threads=4)
+        nested = [
+            s
+            for s in res.monitor.samples
+            if s.spawn_tag is not None
+            and s.pre_spawn_stack
+            and any(f.startswith("forall_fn") for f, _ in s.pre_spawn_stack)
+        ]
+        for s in nested:
+            assert s.pre_spawn_stack[-1][0] == "main"
+
+    def test_idle_samples_marked(self):
+        res = profile_src(self.SRC, threshold=211, num_threads=12)
+        idles = [s for s in res.monitor.samples if s.is_idle]
+        for s in idles:
+            assert s.stack[0][0] == SCHED_YIELD
+            assert s.task_id == -1
+
+
+class TestCausality:
+    def test_wall_time_at_least_serial_fraction(self):
+        src = """
+proc main() {
+  var s = 0.0;
+  for i in 1..2000 { s += i * 1.0; }
+  writeln(s);
+}
+"""
+        r1 = run_src(src, num_threads=1)
+        r12 = run_src(src, num_threads=12)
+        # Serial program: thread count must not change wall time much.
+        assert abs(r1.wall_seconds - r12.wall_seconds) / r1.wall_seconds < 0.2
+
+    def test_parallel_speedup_observed(self):
+        src = """
+var A: [0..199] real;
+proc main() {
+  forall i in 0..199 { A[i] = sqrt(i * 1.0) * cos(i * 1.0) + i * 0.25; }
+}
+"""
+        r1 = run_src(src, num_threads=1)
+        r8 = run_src(src, num_threads=8)
+        assert r8.wall_seconds < r1.wall_seconds * 0.6

@@ -1,0 +1,239 @@
+"""Runtime value model tests: ranges, domains, arrays, views, tuples,
+records — with hypothesis property suites on the geometric invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chapel.types import INT, REAL, RecordType, TupleType
+from repro.runtime.values import (
+    ArrayValue,
+    DomainValue,
+    RangeValue,
+    RecordValue,
+    RuntimeError_,
+    TupleValue,
+    copy_value,
+    default_value,
+    format_value,
+    value_slots,
+)
+
+V3 = TupleType((REAL, REAL, REAL))
+
+
+def dom(*bounds):
+    return DomainValue(tuple(RangeValue(lo, hi) for lo, hi in bounds))
+
+
+class TestRange:
+    def test_size(self):
+        assert RangeValue(0, 9).size == 10
+        assert RangeValue(5, 5).size == 1
+        assert RangeValue(5, 4).size == 0
+        assert RangeValue(0, 9, 2).size == 5
+        assert RangeValue(9, 0, -3).size == 4
+
+    def test_indices(self):
+        assert list(RangeValue(0, 6, 2).indices()) == [0, 2, 4, 6]
+        assert list(RangeValue(3, 1, -1).indices()) == [3, 2, 1]
+
+    def test_contains(self):
+        r = RangeValue(0, 10, 2)
+        assert r.contains(4) and not r.contains(5) and not r.contains(12)
+
+    def test_nth_position_roundtrip(self):
+        r = RangeValue(-3, 9, 3)
+        for k in range(r.size):
+            assert r.position_of(r.nth(k)) == k
+
+    def test_zero_step_rejected(self):
+        with pytest.raises(RuntimeError_):
+            RangeValue(0, 5, 0)
+
+    def test_subrange_by_position(self):
+        r = RangeValue(10, 30, 5)
+        sub = r.subrange_by_position(1, 3)
+        assert (sub.lo, sub.hi, sub.step) == (15, 25, 5)
+
+
+class TestDomain:
+    def test_size_and_shape(self):
+        d = dom((0, 3), (0, 4))
+        assert d.size == 20 and d.shape == (4, 5)
+
+    def test_flat_coords_roundtrip(self):
+        d = dom((-1, 2), (0, 3))
+        for flat in range(d.size):
+            assert d.flat_of(d.coords_of(flat)) == flat
+
+    def test_row_major_order(self):
+        d = dom((0, 1), (0, 2))
+        assert list(d.iter_coords()) == [
+            (0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2),
+        ]
+
+    def test_out_of_bounds(self):
+        with pytest.raises(RuntimeError_):
+            dom((0, 3)).flat_of((4,))
+
+    def test_expand(self):
+        d = dom((0, 9)).expand((1,))
+        assert (d.dims[0].lo, d.dims[0].hi) == (-1, 10)
+
+    def test_expand_broadcasts_single_amount(self):
+        d = dom((0, 3), (0, 3)).expand((2,))
+        assert all(r.lo == -2 and r.hi == 5 for r in d.dims)
+
+    def test_translate_and_interior(self):
+        d = dom((0, 9)).translate((5,))
+        assert (d.dims[0].lo, d.dims[0].hi) == (5, 14)
+        d2 = dom((0, 9)).interior((2,))
+        assert (d2.dims[0].lo, d2.dims[0].hi) == (2, 7)
+
+
+class TestArray:
+    def make(self, *bounds, elem=0.0):
+        d = dom(*bounds)
+        return ArrayValue(d, REAL, data=[elem] * d.size)
+
+    def test_elem_address_and_write(self):
+        a = self.make((0, 4))
+        data, i = a.elem_address((2,))
+        data[i] = 9.0
+        assert a.data[2] == 9.0
+
+    def test_slice_aliases(self):
+        a = self.make((0, 9))
+        view = a.slice(dom((2, 5)))
+        data, i = view.elem_address((3,))
+        data[i] = 7.0
+        assert a.data[3] == 7.0  # slice keeps coordinates
+        assert view.is_view and view.root is a
+
+    def test_slice_of_slice(self):
+        a = self.make((0, 9))
+        v1 = a.slice(dom((1, 8)))
+        v2 = v1.slice(dom((2, 5)))
+        data, i = v2.elem_address((4,))
+        data[i] = 1.5
+        assert a.data[4] == 1.5
+
+    def test_reindex_translates(self):
+        a = self.make((0, 9))
+        view = a.reindex(dom((100, 109)))
+        data, i = view.elem_address((103,))
+        data[i] = 2.5
+        assert a.data[3] == 2.5
+        assert view.is_reindex
+
+    def test_reindex_shape_mismatch(self):
+        a = self.make((0, 9))
+        with pytest.raises(RuntimeError_):
+            a.reindex(dom((0, 5)))
+
+    def test_view_bounds_checked(self):
+        a = self.make((0, 9))
+        view = a.slice(dom((2, 5)))
+        with pytest.raises(RuntimeError_):
+            view.elem_address((8,))  # outside view domain
+
+    def test_2d_view(self):
+        a = self.make((0, 3), (0, 3))
+        view = a.slice(dom((1, 2), (1, 2)))
+        data, i = view.elem_address((2, 2))
+        data[i] = 4.0
+        assert a.data[a.domain.flat_of((2, 2))] == 4.0
+
+
+class TestTuplesRecords:
+    def test_tuple_copy_is_deep(self):
+        t = TupleValue([1.0, TupleValue([2.0, 3.0])])
+        c = t.copy()
+        c.elems[1].elems[0] = 99.0
+        assert t.elems[1].elems[0] == 2.0
+
+    def test_record_copy(self):
+        rt = RecordType("P", (("x", REAL),))
+        r = RecordValue(rt, [1.0])
+        c = r.copy()
+        c.fields[0] = 5.0
+        assert r.fields[0] == 1.0
+
+    def test_copy_value_passthrough_for_scalars(self):
+        assert copy_value(5) == 5
+        assert copy_value("s") == "s"
+
+    def test_value_slots(self):
+        assert value_slots(3.0) == 1
+        assert value_slots(TupleValue([1.0, 2.0, 3.0])) == 3
+        rt = RecordType("atom", (("v", V3), ("f", V3)))
+        assert value_slots(default_value(rt)) == 6
+
+    def test_default_values(self):
+        assert default_value(INT) == 0
+        assert default_value(REAL) == 0.0
+        t = default_value(V3)
+        assert isinstance(t, TupleValue) and t.elems == [0.0, 0.0, 0.0]
+
+    def test_format_value(self):
+        assert format_value(True) == "true"
+        assert format_value(TupleValue([1.0, 2.0])) == "(1.0, 2.0)"
+
+
+# ---------------------------------------------------------------------------
+# Property suites
+# ---------------------------------------------------------------------------
+
+ranges = st.builds(
+    RangeValue,
+    st.integers(-50, 50),
+    st.integers(-50, 50),
+    st.integers(1, 5),
+)
+
+
+@given(ranges)
+@settings(max_examples=100, deadline=None)
+def test_range_size_matches_indices(r):
+    assert r.size == len(list(r.indices()))
+
+
+@given(ranges, st.integers(0, 200))
+@settings(max_examples=100, deadline=None)
+def test_range_nth_contains(r, k):
+    if r.size == 0 or k >= r.size:
+        return
+    v = r.nth(k)
+    assert r.contains(v)
+    assert r.position_of(v) == k
+
+
+domains = st.lists(
+    st.tuples(st.integers(-5, 5), st.integers(0, 4)), min_size=1, max_size=3
+).map(lambda bs: DomainValue(tuple(RangeValue(lo, lo + n) for lo, n in bs)))
+
+
+@given(domains)
+@settings(max_examples=80, deadline=None)
+def test_domain_flat_bijection(d):
+    seen = set()
+    for coords in d.iter_coords():
+        flat = d.flat_of(coords)
+        assert 0 <= flat < d.size
+        assert flat not in seen
+        seen.add(flat)
+        assert d.coords_of(flat) == coords
+    assert len(seen) == d.size
+
+
+@given(domains, st.integers(0, 2))
+@settings(max_examples=60, deadline=None)
+def test_expand_then_interior_roundtrip(d, k):
+    assert d.expand((k,)).interior((k,)) == d
+
+
+@given(domains, st.integers(-5, 5))
+@settings(max_examples=60, deadline=None)
+def test_translate_preserves_size(d, k):
+    assert d.translate((k,)).size == d.size

@@ -1,0 +1,53 @@
+"""Smoke tests for the runnable examples (the fast ones; the full
+benchmark-style walkthroughs are exercised by benchmarks/)."""
+
+import importlib.util
+import os
+import sys
+
+import pytest
+
+EXAMPLES = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
+
+
+def load(name):
+    path = os.path.join(EXAMPLES, name)
+    spec = importlib.util.spec_from_file_location(name[:-3], path)
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        load("quickstart.py").main()
+        out = capsys.readouterr().out
+        assert "Data-centric view" in out
+        assert "kinetic energy" in out
+
+    def test_compare_profilers(self, capsys):
+        load("compare_profilers.py").main()
+        out = capsys.readouterr().out
+        assert "unknown data" in out
+        assert "Variable blame" in out
+        assert "table" in out
+
+    def test_multilocale_aggregation(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        load("multilocale_aggregation.py").main()
+        out = capsys.readouterr().out
+        assert "merged program-wide report" in out
+        assert os.path.exists(tmp_path / "multilocale_report.html")
+
+    def test_extensions_tour(self, capsys):
+        load("extensions_tour.py").main()
+        out = capsys.readouterr().out
+        assert "Iterators" in out
+        assert "offline blame" in out
+        assert "Ablations" in out
+
+    def test_all_examples_importable(self):
+        # The slow walkthroughs at least parse/import cleanly.
+        for name in os.listdir(EXAMPLES):
+            if name.endswith(".py"):
+                load(name)

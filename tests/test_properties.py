@@ -1,0 +1,175 @@
+"""Cross-cutting property-based tests (hypothesis): parser totality over
+generated programs, interpreter determinism, blame invariants."""
+
+import os
+import sys
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+sys.path.insert(0, os.path.dirname(__file__))
+from conftest import compile_src, profile_src, run_src
+
+from repro.blame.dataflow import DataFlow
+from repro.blame.slices import compute_blame_sets
+from repro.chapel.lexer import tokenize
+from repro.chapel.parser import parse
+from repro.chapel.tokens import TokenKind
+
+# ---------------------------------------------------------------------------
+# Expression generator: random arithmetic programs that must lex, parse,
+# compile and run without crashing (and deterministically).
+# ---------------------------------------------------------------------------
+
+names = st.sampled_from(["a", "b", "c"])
+int_lits = st.integers(min_value=0, max_value=99).map(str)
+real_lits = st.floats(
+    min_value=0.1, max_value=99.0, allow_nan=False, allow_infinity=False
+).map(lambda f: f"{f:.3f}")
+
+
+def exprs(depth):
+    if depth <= 0:
+        return st.one_of(names, int_lits.map(lambda s: s + " * 1"), real_lits)
+    sub = exprs(depth - 1)
+    return st.one_of(
+        names,
+        real_lits,
+        st.tuples(sub, st.sampled_from(["+", "-", "*"]), sub).map(
+            lambda t: f"({t[0]} {t[1]} {t[2]})"
+        ),
+        st.tuples(sub, sub, sub).map(
+            lambda t: f"(if ({t[0]}) < ({t[1]}) then ({t[2]}) else ({t[0]}))"
+        ),
+    )
+
+
+@st.composite
+def programs(draw):
+    e1 = draw(exprs(2))
+    e2 = draw(exprs(2))
+    n = draw(st.integers(min_value=1, max_value=6))
+    return f"""
+proc main() {{
+  var a = 1.5;
+  var b = 2.5;
+  var c = 0.5;
+  for i in 1..{n} {{
+    a = {e1};
+    c = {e2};
+  }}
+  writeln(a + b + c);
+}}
+"""
+
+
+@given(programs())
+@settings(max_examples=40, deadline=None)
+def test_generated_programs_compile_and_run(src):
+    r1 = run_src(src, num_threads=2)
+    r2 = run_src(src, num_threads=2)
+    assert len(r1.output) == 1
+    assert r1.output == r2.output
+
+
+@given(programs())
+@settings(max_examples=20, deadline=None)
+def test_fast_pipeline_preserves_generated_semantics(src):
+    from repro.compiler.lower import compile_source
+    from repro.compiler.passes import run_fast_pipeline
+    from repro.runtime.interpreter import Interpreter
+
+    m_plain = compile_source(src, "p.chpl")
+    m_fast = compile_source(src, "p.chpl")
+    run_fast_pipeline(m_fast)
+    out_plain = Interpreter(m_plain, num_threads=2).run().output
+    out_fast = Interpreter(m_fast, num_threads=2).run().output
+    assert out_plain == out_fast
+
+
+# ---------------------------------------------------------------------------
+# Lexer totality: printable input either tokenizes or raises LexError.
+# ---------------------------------------------------------------------------
+
+
+@given(st.text(alphabet=st.characters(min_codepoint=32, max_codepoint=126), max_size=60))
+@settings(max_examples=120, deadline=None)
+def test_lexer_total(text):
+    from repro.chapel.errors import LexError
+
+    try:
+        toks = tokenize(text)
+    except LexError:
+        return
+    assert toks[-1].kind is TokenKind.EOF
+    # locations are monotone
+    positions = [(t.loc.line, t.loc.column) for t in toks]
+    assert positions == sorted(positions)
+
+
+# ---------------------------------------------------------------------------
+# Blame invariants on a family of small programs.
+# ---------------------------------------------------------------------------
+
+ARRAY_PROGRAM = """
+var A: [0..{n}] real;
+var B: [0..{n}] real;
+proc main() {{
+  forall i in 0..{n} {{
+    A[i] = i * 1.0;
+    B[i] = A[i] * {k}.0;
+  }}
+}}
+"""
+
+
+@given(st.integers(min_value=10, max_value=40), st.integers(min_value=1, max_value=5))
+@settings(max_examples=10, deadline=None)
+def test_blame_fractions_in_unit_interval(n, k):
+    res = profile_src(ARRAY_PROGRAM.format(n=n, k=k), threshold=307)
+    for row in res.report.rows:
+        assert 0.0 <= row.blame <= 1.0
+        assert row.samples <= res.report.stats.user_samples
+
+
+@given(st.integers(min_value=10, max_value=30))
+@settings(max_examples=8, deadline=None)
+def test_dependent_variable_blame_dominates(n):
+    """B = f(A): every sample blaming A's writes inside the loop also
+    feeds B, so blame(B) >= blame(A) - epsilon (B's set contains A's
+    loop writes)."""
+    res = profile_src(ARRAY_PROGRAM.format(n=n, k=2), threshold=307)
+    a, b = res.report.blame_of("A"), res.report.blame_of("B")
+    assert b >= a * 0.6
+
+
+@given(st.integers(min_value=2, max_value=12))
+@settings(max_examples=10, deadline=None)
+def test_blame_sets_monotone_under_extra_writes(n):
+    """Adding more writes to a variable can only grow its blame set."""
+    base = """
+proc main() {{
+  var x = 0.0;
+  var y = 0.0;
+  for i in 1..{n} {{
+    y = y + i;
+  }}
+  {extra}
+}}
+"""
+    m1 = compile_src(base.format(n=n, extra=""))
+    m2 = compile_src(base.format(n=n, extra="x = y;"))
+
+    def xset(m):
+        fn = m.functions["main"]
+        df = DataFlow(fn, m)
+        bs = compute_blame_sets(fn, df)
+        for (key, path), iids in bs.by_var.items():
+            meta = df.var_meta.get(key)
+            if meta and meta.name == "x" and not path:
+                return {m.functions["main"].find_instruction(i).loc.line for i in iids}
+        return set()
+
+    # line-level comparison (iids differ between compiles)
+    assert xset(m1) <= xset(m2)

@@ -1,0 +1,103 @@
+"""Stress / scale tests: deeper programs, larger structures, many
+functions — confidence the pipeline holds beyond toy sizes."""
+
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.dirname(__file__))
+from conftest import compile_src, output_of, profile_src
+
+
+class TestScale:
+    def test_many_functions(self):
+        parts = []
+        for k in range(40):
+            parts.append(
+                f"proc f{k}(x: real): real {{ return x + {k}.0; }}"
+            )
+        calls = " + ".join(f"f{k}(1.0)" for k in range(40))
+        parts.append(f"proc main() {{ writeln({calls}); }}")
+        src = "\n".join(parts)
+        # sum over k of (1+k) = 40 + 780
+        assert output_of(src) == ["820.0"]
+
+    def test_deep_call_chain(self):
+        parts = ["proc f0(x: int): int { return x + 1; }"]
+        for k in range(1, 30):
+            parts.append(
+                f"proc f{k}(x: int): int {{ return f{k-1}(x) + 1; }}"
+            )
+        parts.append("proc main() { writeln(f29(0)); }")
+        assert output_of("\n".join(parts)) == ["30"]
+
+    def test_deep_recursion(self):
+        src = """
+proc depth(n: int): int {
+  if n == 0 then return 0;
+  return depth(n - 1) + 1;
+}
+proc main() { writeln(depth(300)); }
+"""
+        assert output_of(src) == ["300"]
+
+    def test_wide_record(self):
+        fields = "\n".join(f"  var f{k}: real;" for k in range(24))
+        src = f"""
+record Wide {{
+{fields}
+}}
+var w: Wide = new Wide();
+proc main() {{
+  w.f23 = 9.5;
+  w.f0 = w.f23 * 2.0;
+  writeln(w.f0);
+}}
+"""
+        assert output_of(src) == ["19.0"]
+
+    def test_3d_domain(self):
+        src = """
+var D: domain(3) = {0..3, 0..3, 0..3};
+var V: [D] real;
+proc main() {
+  forall (i, j, k) in D {
+    V[i, j, k] = i * 16.0 + j * 4.0 + k;
+  }
+  writeln(+ reduce V);
+}
+"""
+        # sum of 0..63
+        assert output_of(src) == ["2016.0"]
+
+    def test_profile_of_bigger_program_terminates_quickly(self):
+        src = """
+var A: [0..999] real;
+var B: [0..999] real;
+proc phase1() {
+  forall i in 0..999 { A[i] = sqrt(i * 1.0); }
+}
+proc phase2() {
+  forall i in 0..999 { B[i] = A[i] * 2.0 + 1.0; }
+}
+proc main() {
+  for t in 1..3 { phase1(); phase2(); }
+  writeln(+ reduce B > 0.0);
+}
+"""
+        res = profile_src(src, threshold=4999, num_threads=12)
+        assert res.run_result.output == ["true"]
+        assert res.report.blame_of("B") > 0.2
+        assert res.report.blame_of("A") > 0.2
+
+    def test_static_analysis_scales_to_benchmark_modules(self):
+        from repro.bench.programs import lulesh
+        from repro.blame.static_info import ModuleBlameInfo
+
+        m = compile_src(lulesh.build_source())
+        info = ModuleBlameInfo(m)
+        # every function analyzed, none empty
+        assert len(info.functions) == len(m.functions)
+        big = info.functions["CalcElemFBHourglassForce"]
+        assert big.blame_sets.by_var

@@ -1,0 +1,52 @@
+"""Multi-locale harness tests: SPMD-style partitioning + aggregation."""
+
+import pytest
+
+from repro.tooling.multilocale import profile_locales
+
+SPMD = """
+config const localeId: int = 0;
+config const numLocales: int = 1;
+config const n: int = 120;
+
+var chunk = n / numLocales;
+var lo = localeId * chunk;
+var hi = lo + chunk - 1;
+var A: [0..n-1] real;
+
+proc main() {
+  forall i in lo..hi {
+    A[i] = sqrt(i * 1.0) + i * 0.5;
+  }
+  writeln("locale", localeId, "sum", + reduce A);
+}
+"""
+
+
+class TestMultiLocale:
+    def test_each_locale_does_its_share(self):
+        res = profile_locales(SPMD, num_locales=4, num_threads=4, threshold=499)
+        assert res.num_locales == 4
+        for k, r in enumerate(res.per_locale):
+            assert r.run_result.output[0].startswith(f"locale {k}")
+            assert r.report.locale_id == k
+
+    def test_merged_report_aggregates_samples(self):
+        res = profile_locales(SPMD, num_locales=3, num_threads=4, threshold=499)
+        total = sum(r.report.stats.user_samples for r in res.per_locale)
+        assert res.merged.stats.user_samples == total
+        assert res.merged.locale_id == -1
+
+    def test_merged_blame_consistent_with_locales(self):
+        res = profile_locales(SPMD, num_locales=2, num_threads=4, threshold=499)
+        per = [r.report.blame_of("A") for r in res.per_locale]
+        merged = res.merged.blame_of("A")
+        assert min(per) - 0.01 <= merged <= max(per) + 0.01
+
+    def test_single_locale_is_the_base_case(self):
+        res = profile_locales(SPMD, num_locales=1, num_threads=4, threshold=499)
+        assert res.merged is res.per_locale[0].report
+
+    def test_zero_locales_rejected(self):
+        with pytest.raises(ValueError):
+            profile_locales(SPMD, num_locales=0)

@@ -1,0 +1,134 @@
+"""Presentation-layer tests: the three GUI windows as text."""
+
+import pytest
+
+from repro.views.code_centric import build_code_centric, render_code_centric
+from repro.views.data_centric import render_data_centric
+from repro.views.hybrid import build_blame_points, render_hybrid
+from repro.views.tables import pct, render_table
+
+import sys, os
+sys.path.insert(0, os.path.dirname(os.path.dirname(__file__)))
+from conftest import profile_src
+
+SRC = """
+var A: [0..49] real;
+proc helper(i: int): real {
+  return sqrt(i * 1.0) + i * 0.5;
+}
+proc compute() {
+  forall i in 0..49 { A[i] = helper(i); }
+}
+proc main() { compute(); }
+"""
+
+
+@pytest.fixture(scope="module")
+def res():
+    return profile_src(SRC, threshold=211)
+
+
+class TestTables:
+    def test_render_table_alignment(self):
+        out = render_table(
+            ["Name", "Val"],
+            [["alpha", "1"], ["b", "22"]],
+            title="T",
+            aligns=["l", "r"],
+        )
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "Name" in lines[1]
+        # right-aligned value column
+        assert lines[3].endswith(" 1") or lines[3].endswith("  1")
+
+    def test_pct(self):
+        assert pct(0.5) == "50.0%"
+        assert pct(0.12345, 2) == "12.35%"
+
+
+class TestDataCentric:
+    def test_contains_columns_and_rows(self, res):
+        out = render_data_centric(res.report, top=5)
+        assert "Name" in out and "Blame" in out and "Context" in out
+        assert "A" in out
+
+    def test_top_limits_rows(self, res):
+        short = render_data_centric(res.report, top=2)
+        longer = render_data_centric(res.report, top=20)
+        assert len(short.splitlines()) < len(longer.splitlines())
+
+    def test_min_blame_filters(self, res):
+        out = render_data_centric(res.report, min_blame=0.99)
+        assert len(out.splitlines()) <= 3  # header only
+
+
+class TestCodeCentric:
+    def test_outlined_frames_merge_into_user_functions(self, res):
+        profiles = build_code_centric(res.module, res.postmortem)
+        names = {p.name for p in profiles}
+        assert not any(n.startswith("forall_fn") for n in names)
+        assert "compute" in names
+
+    def test_cumulative_ge_flat(self, res):
+        for p in build_code_centric(res.module, res.postmortem):
+            assert p.cumulative >= p.flat
+
+    def test_main_cumulative_covers_its_samples(self, res):
+        profiles = {p.name: p for p in build_code_centric(res.module, res.postmortem)}
+        rooted_in_main = sum(
+            1 for i in res.postmortem.instances if i.frames[-1][0] == "main"
+        )
+        assert profiles["main"].cumulative == rooted_in_main
+        # everything else is module initialization
+        assert rooted_in_main + sum(
+            1
+            for i in res.postmortem.instances
+            if i.frames[-1][0] == "__module_init"
+        ) == res.postmortem.n_user
+
+    def test_render(self, res):
+        out = render_code_centric(res.module, res.postmortem, top=5)
+        assert "Flat" in out and "Cum" in out
+        assert "stacks glued" in out
+
+
+class TestHybrid:
+    def test_main_blame_point_first(self, res):
+        points = build_blame_points(res.report)
+        assert points[0].context == "main"
+
+    def test_all_rows_grouped(self, res):
+        points = build_blame_points(res.report, min_blame=0.0)
+        total_rows = sum(len(p.rows) for p in points)
+        assert total_rows == len(res.report.rows)
+
+    def test_render(self, res):
+        out = render_hybrid(res.report)
+        assert "blame point: main" in out
+
+
+class TestHtmlReport:
+    def test_html_contains_all_panes(self, res, tmp_path):
+        from repro.views.html import render_html_report, write_html_report
+
+        text = render_html_report(res)
+        assert "<!DOCTYPE html>" in text
+        assert "data-centric (variable blame)" in text
+        assert "code-centric (stacks glued)" in text
+        assert "blame point: main" in text
+        assert "A" in text
+
+    def test_html_escapes_names(self, res):
+        from repro.views.html import render_html_report
+
+        # arrow rows contain no raw '<' breakage; all tags balanced
+        text = render_html_report(res)
+        assert "<script" not in text
+
+    def test_write_html_report(self, res, tmp_path):
+        from repro.views.html import write_html_report
+
+        path = write_html_report(str(tmp_path / "r.html"), res)
+        content = open(path).read()
+        assert "</html>" in content
