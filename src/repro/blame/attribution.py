@@ -95,9 +95,18 @@ class BlameAttributor:
     def attribute(self, instances: list[Instance]) -> AttributionResult:
         rows: dict[tuple[str, str], VariableBlame] = {}
 
+        # Attribution depends only on the call path: instances sharing a
+        # frames tuple blame the same rows, so walk each distinct path
+        # once, weighted by its multiplicity (hot loops produce the same
+        # path thousands of times).  Groups keep first-seen order, so
+        # rows are created in the same order as per-instance attribution.
+        groups: dict[tuple, list[Instance]] = {}
         for inst in instances:
+            groups.setdefault(inst.frames, []).append(inst)
+
+        for insts in groups.values():
             blamed_this_sample: set[tuple[str, str]] = set()
-            self._attribute_one(inst, rows, blamed_this_sample)
+            self._attribute_one(insts[0], rows, blamed_this_sample, len(insts))
 
         return AttributionResult(rows=rows, total_samples=len(instances))
 
@@ -108,6 +117,7 @@ class BlameAttributor:
         inst: Instance,
         rows: dict[tuple[str, str], VariableBlame],
         seen: set[tuple[str, str]],
+        weight: int = 1,
     ) -> None:
         frames = inst.frames
         leaf_func, leaf_iid = frames[0]
@@ -118,7 +128,7 @@ class BlameAttributor:
 
         level = 0
         while True:
-            self._record(info, blamed, rows, seen)
+            self._record(info, blamed, rows, seen, weight)
             if not self.static.options.interprocedural:
                 break  # ablation: leaf-frame attribution only
             if level + 1 >= len(frames):
@@ -166,6 +176,7 @@ class BlameAttributor:
         blamed: frozenset[Root],
         rows: dict[tuple[str, str], VariableBlame],
         seen: set[tuple[str, str]],
+        weight: int = 1,
     ) -> None:
         expanded: set[Root] = set()
         for key, path in blamed:
@@ -204,4 +215,4 @@ class BlameAttributor:
                     is_path=bool(path),
                 )
                 rows[row_key] = row
-            row.samples += 1
+            row.samples += weight

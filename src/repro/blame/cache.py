@@ -1,0 +1,174 @@
+"""Content-hash keyed caching for the static blame pipeline.
+
+The static analyses (data flow, slice graphs / blame sets, exit
+variables, transfer functions) are pure functions of the function's IR,
+the module-wide alias facts, the module's signatures/globals, and the
+:class:`~repro.blame.options.BlameOptions` in effect.  Repeated
+``Profiler.profile()`` calls — and the benchmark scripts that share the
+MiniMD/CLOMP/LULESH modules — therefore reuse prior results, keyed on a
+content hash (sha256) of the IR: unchanged IR → cache hit; any in-place
+mutation (a compiler pass, a test rewriting an instruction) changes the
+fingerprint and transparently invalidates.
+
+Cached results are stored on the IR objects themselves
+(``Function.__dict__`` / ``Module.__dict__``), never in a global table:
+blame sets are keyed by instruction ids, which are only meaningful for
+the exact module object they were computed from, so results can never
+leak across distinct modules that happen to share source text.
+
+``STATS`` counts hits/misses for the cache tests and the perf bench.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from ..ir import instructions as I
+from ..ir.module import Function, Module
+
+#: Attribute names used for on-object cache storage.
+_FN_ATTR = "_blame_fn_cache"
+_MOD_ATTR = "_blame_mod_cache"
+
+#: Per-instruction attributes that are semantically load-bearing but do
+#: not appear in the instruction's ``__str__`` rendering.
+_EXTRA_ATTRS = ("counted", "zippered", "formal_home")
+
+
+class CacheStats:
+    """Hit/miss counters for the analysis caches."""
+
+    __slots__ = ("module_hits", "module_misses", "function_hits", "function_misses")
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self.module_hits = 0
+        self.module_misses = 0
+        self.function_hits = 0
+        self.function_misses = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"<CacheStats module {self.module_hits}h/{self.module_misses}m, "
+            f"function {self.function_hits}h/{self.function_misses}m>"
+        )
+
+
+STATS = CacheStats()
+
+
+def function_fingerprint(fn: Function) -> str:
+    """sha256 over the function's rendered IR (signature, blocks,
+    instructions with their ids and operands).
+
+    Source locations are deliberately excluded: blame sets do not depend
+    on them (line maps are derived live from the function object).
+    """
+    h = hashlib.sha256()
+    w = h.update
+    w(f"fn {fn.name} -> {fn.return_type}\n".encode())
+    for p in fn.params:
+        w(
+            f"param {p.name} {p.intent} {p.type} "
+            f"%{p.register.rid} {p.is_temp}\n".encode()
+        )
+    for block in fn.blocks:
+        w(f"block {block.label}\n".encode())
+        for ins in block.instructions:
+            w(f"{ins.iid}: {ins}".encode())
+            for attr in _EXTRA_ATTRS:
+                if hasattr(ins, attr):
+                    w(f" {attr}={getattr(ins, attr)}".encode())
+            if isinstance(ins, I.FieldAddr):
+                w(f" index={ins.index}".encode())
+            w(b"\n")
+    return h.hexdigest()
+
+
+def module_signatures_fingerprint(module: Module) -> str:
+    """sha256 over everything a per-function analysis may consult
+    *outside* the function body: callee signatures, globals, records."""
+    h = hashlib.sha256()
+    w = h.update
+    for name, fn in module.functions.items():
+        params = ",".join(
+            f"{p.name}:{p.intent}:{p.type}:%{p.register.rid}" for p in fn.params
+        )
+        w(
+            f"sig {name}({params}) -> {fn.return_type} "
+            f"src={fn.source_name} out={fn.outlined_from} "
+            f"art={fn.is_artificial}\n".encode()
+        )
+    for name, g in module.globals.items():
+        w(f"global {name}:{g.type} cfg={g.is_config} tmp={g.is_temp}\n".encode())
+    for name, rec in module.records.items():
+        fields = ",".join(f"{fn_}:{ft}" for fn_, ft in rec.fields)
+        w(f"record {name}({fields}) class={rec.is_class}\n".encode())
+    return h.hexdigest()
+
+
+def module_fingerprint(module: Module) -> str:
+    """sha256 over the whole module: signatures/globals/records plus
+    every function body fingerprint."""
+    h = hashlib.sha256()
+    h.update(module_signatures_fingerprint(module).encode())
+    for name, fn in module.functions.items():
+        h.update(f"{name}={function_fingerprint(fn)}\n".encode())
+    h.update(
+        f"init={module.global_init.name if module.global_init else None} "
+        f"main={module.main.name if module.main else None}".encode()
+    )
+    return h.hexdigest()
+
+
+def aliases_fingerprint(global_aliases: dict) -> str:
+    """Stable digest of the module-wide alias facts fed into phase 2."""
+    items = sorted(
+        (repr(key), sorted(map(repr, roots)))
+        for key, roots in global_aliases.items()
+    )
+    return hashlib.sha256(repr(items).encode()).hexdigest()
+
+
+def cached_function_info(fn: Function, key: tuple):
+    """Returns the FunctionBlameInfo cached on ``fn`` for ``key``, or
+    None.  ``key`` must include the function fingerprint so in-place IR
+    edits invalidate."""
+    entry = fn.__dict__.get(_FN_ATTR)
+    if entry is not None and entry[0] == key:
+        STATS.function_hits += 1
+        return entry[1]
+    STATS.function_misses += 1
+    return None
+
+
+def store_function_info(fn: Function, key: tuple, info) -> None:
+    fn.__dict__[_FN_ATTR] = (key, info)
+
+
+def cached_module_blame_info(module: Module, options: "object | None" = None):
+    """Module-level entry point: returns a (possibly cached)
+    :class:`~repro.blame.static_info.ModuleBlameInfo`.
+
+    The cache key is (module content fingerprint, options); a fingerprint
+    mismatch — the module's IR changed in place — rebuilds.  Per-function
+    results are additionally cached on each Function, so a rebuild after
+    editing one function re-analyzes only that function (plus the cheap
+    alias fixpoint).
+    """
+    from .options import FULL
+    from .static_info import ModuleBlameInfo
+
+    opts = options or FULL
+    fp = module_fingerprint(module)
+    cache = module.__dict__.setdefault(_MOD_ATTR, {})
+    entry = cache.get(opts)
+    if entry is not None and entry[0] == fp:
+        STATS.module_hits += 1
+        return entry[1]
+    STATS.module_misses += 1
+    info = ModuleBlameInfo(module, options=opts)
+    cache[opts] = (fp, info)
+    return info

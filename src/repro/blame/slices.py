@@ -53,22 +53,41 @@ class SliceGraph:
         self.function = function
         self.df = dataflow
         self.deps: dict[int, set[int]] = {}
+        self._slice_cache: dict[frozenset[int], frozenset[int]] = {}
         self._build()
 
     @property
     def options(self):
         return self.df.options
 
+    @staticmethod
+    def _path_head(path: Path):
+        """Bucket key for a store's access path: only stores whose head
+        is compatible with a load's head can alias it (the first loop
+        iteration of :func:`paths_may_alias`), so bucketing by head cuts
+        the loads×stores product to compatible pairs.  Index heads match
+        any index, so they share one bucket."""
+        if not path:
+            return ()
+        head = path[0]
+        if head[0] == "index":
+            return ("index",)
+        return head
+
     def _build(self) -> None:
         fn = self.function
         df = self.df
         # Stores to each root variable (for load→store memory edges),
-        # keeping the access path for field-sensitive aliasing.
-        stores_by_var: dict[VarKey, list[tuple[Path, int]]] = {}
+        # bucketed by access-path head for field-sensitive aliasing.
+        stores_by_var: dict[VarKey, dict[tuple, list[tuple[Path, int]]]] = {}
+        path_head = self._path_head
         for instr in fn.instructions():
             if isinstance(instr, I.Store):
                 for key, path in df.roots_of(instr.addr):
-                    stores_by_var.setdefault(key, []).append((path, instr.iid))
+                    buckets = stores_by_var.setdefault(key, {})
+                    buckets.setdefault(path_head(path), []).append(
+                        (path, instr.iid)
+                    )
 
         control = instruction_control_deps(fn)
 
@@ -83,9 +102,27 @@ class SliceGraph:
             # paper's Table I gives c both writes to a).
             if isinstance(instr, I.Load):
                 for key, path in df.roots_of(instr.addr):
-                    for spath, siid in stores_by_var.get(key, ()):
+                    buckets = stores_by_var.get(key)
+                    if buckets is None:
+                        continue
+                    if not path:
+                        # An empty load path aliases every store except
+                        # those reaching through a class dereference.
+                        for hkey, entries in buckets.items():
+                            if hkey and hkey[0] == "cfield":
+                                continue
+                            deps.update(siid for _spath, siid in entries)
+                        continue
+                    # Same-head stores: tails still need the full check.
+                    for spath, siid in buckets.get(path_head(path), ()):
                         if paths_may_alias(path, spath):
                             deps.add(siid)
+                    # Empty-path stores (whole-variable writes) alias any
+                    # load not crossing a class dereference first.
+                    if path[0][0] != "cfield":
+                        deps.update(
+                            siid for _spath, siid in buckets.get((), ())
+                        )
             # Implicit (control) edges: the controlling branches and,
             # through their operand edges, the condition producers.
             if df.options.implicit_control:
@@ -94,7 +131,16 @@ class SliceGraph:
                         deps.add(cbr.iid)
 
     def backward_slice(self, seeds: set[int]) -> frozenset[int]:
-        """Multi-source backward closure from ``seeds``."""
+        """Multi-source backward closure from ``seeds``.
+
+        Memoized on the seed set: distinct variables frequently share
+        write sets (zippered iterands, ref formals of one callsite), and
+        the closure is the hot inner step of blame-set construction.
+        """
+        key = frozenset(seeds)
+        cached = self._slice_cache.get(key)
+        if cached is not None:
+            return cached
         seen: set[int] = set(seeds)
         queue = deque(seeds)
         while queue:
@@ -103,7 +149,9 @@ class SliceGraph:
                 if dep not in seen:
                     seen.add(dep)
                     queue.append(dep)
-        return frozenset(seen)
+        result = frozenset(seen)
+        self._slice_cache[key] = result
+        return result
 
 
 @dataclass
@@ -185,7 +233,13 @@ def compute_blame_sets(function: Function, dataflow: DataFlow) -> BlameSets:
     def blame_set(writes) -> frozenset[int]:
         deep_seeds = {w.iid for w in writes if w.iid in deep}
         shallow = {w.iid for w in writes if w.iid not in deep}
-        return graph.backward_slice(deep_seeds) | frozenset(shallow)
+        if not shallow:
+            # The memoized slice is returned as-is (no union copy);
+            # callers treat blame sets as immutable.
+            return graph.backward_slice(deep_seeds)
+        if not deep_seeds:
+            return frozenset(shallow)
+        return graph.backward_slice(deep_seeds) | shallow
 
     for key, writes in dataflow.writes.items():
         by_var[(key, ())] = blame_set(writes)
@@ -202,10 +256,17 @@ def compute_blame_sets(function: Function, dataflow: DataFlow) -> BlameSets:
         for root, iids in iterable_extra.items():
             by_var[root] = by_var.get(root, frozenset()) | iids
 
-    by_iid: dict[int, set[Root]] = {}
+    # Invert, walking each distinct blame set once: variables routinely
+    # share one set object (memoized slices, zippered iterands), so
+    # grouping by the set first avoids re-walking large slices per root.
+    groups: dict[frozenset[int], list[Root]] = {}
     for root, iids in by_var.items():
+        groups.setdefault(iids, []).append(root)
+
+    by_iid: dict[int, set[Root]] = {}
+    for iids, roots in groups.items():
         for iid in iids:
-            by_iid.setdefault(iid, set()).add(root)
+            by_iid.setdefault(iid, set()).update(roots)
 
     return BlameSets(
         by_var=by_var,

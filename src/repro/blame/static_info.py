@@ -83,15 +83,28 @@ class ModuleBlameInfo:
         self.global_aliases = global_aliases
 
         # Phase 2: full per-function analyses with aliases visible.
+        # Results are cached on each Function, keyed by content hashes of
+        # everything the analyses read (its own IR, the module context,
+        # the alias facts) plus the options — so repeated profiles of an
+        # unchanged module skip straight to the stored FunctionBlameInfo.
+        from . import cache as _cache
+
+        sig_fp = _cache.module_signatures_fingerprint(module)
+        aliases_fp = _cache.aliases_fingerprint(global_aliases)
         for name, fn in module.functions.items():
-            df = DataFlow(fn, module, global_aliases=global_aliases, options=self.options)
-            self.functions[name] = FunctionBlameInfo(
-                function=fn,
-                dataflow=df,
-                blame_sets=compute_blame_sets(fn, df),
-                exit_vars=compute_exit_vars(fn, df),
-                transfer=TransferFunction(df),
-            )
+            key = (_cache.function_fingerprint(fn), sig_fp, aliases_fp, self.options)
+            info = _cache.cached_function_info(fn, key)
+            if info is None:
+                df = DataFlow(fn, module, global_aliases=global_aliases, options=self.options)
+                info = FunctionBlameInfo(
+                    function=fn,
+                    dataflow=df,
+                    blame_sets=compute_blame_sets(fn, df),
+                    exit_vars=compute_exit_vars(fn, df),
+                    transfer=TransferFunction(df),
+                )
+                _cache.store_function_info(fn, key, info)
+            self.functions[name] = info
 
     def info_for(self, func_name: str) -> FunctionBlameInfo | None:
         return self.functions.get(func_name)

@@ -1899,7 +1899,15 @@ class FunctionLowerer:
                 return it.elem
             return INT
         if isinstance(e, A.IfExpr):
-            return self._type_of_base(e.then_expr)
+            # Mirror _lower_if_expr: numeric branches unify (int+real →
+            # real), otherwise the then-branch type stands.
+            tt = self._type_of_base(e.then_expr)
+            et = self._type_of_base_safe(e.else_expr)
+            if et is not None and tt.is_numeric() and et.is_numeric():
+                u = unify_numeric(tt, et)
+                if u is not None:
+                    return u
+            return tt
         raise TypeError_(f"cannot type {type(e).__name__} without lowering", e.loc)
 
     def _type_of_base_safe(self, e: A.Expr) -> Type | None:

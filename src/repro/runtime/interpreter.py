@@ -117,6 +117,7 @@ class Interpreter:
         max_instructions: int | None = None,
         skid: int = 0,
         skid_compensation: bool = False,
+        engine: str = "fast",
     ) -> None:
         self.module = module
         self.config = dict(config or {})
@@ -177,6 +178,19 @@ class Interpreter:
             I.SpawnJoin: self._ex_spawn_join,
         }
 
+        #: Execution engine: "fast" compiles per-block plans of
+        #: pre-bound step closures (see ``engine.py``); "generic" is the
+        #: reference dict-dispatch loop.  Both produce bit-identical
+        #: results (a tested invariant).  The fast engine does not
+        #: support instruction budgets, so ``max_instructions`` forces
+        #: the generic loop.
+        self.engine = engine
+        self._fast_engine = None
+        if engine == "fast" and max_instructions is None:
+            from .engine import FastEngine
+
+            self._fast_engine = FastEngine(self)
+
     # -- public API ------------------------------------------------------------
 
     def run(self) -> RunResult:
@@ -221,11 +235,17 @@ class Interpreter:
 
     def _event_loop(self, main_task: Task) -> None:
         sched = self.scheduler
+        pick_thread = sched.pick_thread
+        run_queue = sched.run_queue
+        idle_cost = self.cost_model.idle_quantum
+        threshold = self.sample_threshold
+        sampling = threshold is not None and self.monitor is not None
+        overflow = self._pmu_overflow
         while main_task.state != "done":
-            thread = sched.pick_thread()
+            thread = pick_thread()
             if thread.task is None:
-                if sched.run_queue:
-                    task = sched.run_queue.popleft()
+                if run_queue:
+                    task = run_queue.popleft()
                     task.state = "running"
                     # Causality: the task carries its virtual time; a
                     # thread whose clock lags fast-forwards (it was idle
@@ -238,8 +258,19 @@ class Interpreter:
                         self._accrue_pmu(thread, delta, idle=True)
                     thread.task = task
                 elif sched.any_running:
-                    self._idle_tick(thread)
-                    continue
+                    # Idle stretch: the queue is empty and nothing can
+                    # enqueue work until a busy thread runs, so tick
+                    # min-clock idle threads (same per-tick bookkeeping
+                    # as _idle_tick) until a busy thread is min again.
+                    while thread.task is None:
+                        thread.clock += idle_cost
+                        thread.idle_cycles += idle_cost
+                        if sampling:
+                            pmu = thread.pmu_counter + idle_cost
+                            thread.pmu_counter = pmu
+                            if pmu >= threshold:
+                                overflow(thread, True)
+                        thread = pick_thread()
                 else:
                     raise RuntimeError_(
                         "scheduler stalled: no runnable tasks but main not done"
@@ -253,6 +284,13 @@ class Interpreter:
         self._accrue_pmu(thread, cost, idle=True)
 
     def _run_quantum(self, thread) -> None:
+        eng = self._fast_engine
+        if eng is not None:
+            eng.run_quantum(thread)
+        else:
+            self._run_quantum_generic(thread)
+
+    def _run_quantum_generic(self, thread) -> None:
         for _ in range(self.quantum):
             task = thread.task
             if task is None:
@@ -294,6 +332,12 @@ class Interpreter:
         if self.sample_threshold is None or self.monitor is None:
             return
         thread.pmu_counter += cost
+        if thread.pmu_counter >= self.sample_threshold:
+            self._pmu_overflow(thread, idle)
+
+    def _pmu_overflow(self, thread, idle: bool) -> None:
+        """Drains due PMU overflows (the slow path: only entered when
+        the inline ``>= threshold`` check fires)."""
         while thread.pmu_counter >= self.sample_threshold:
             thread.pmu_counter -= self.sample_threshold
             if idle or thread.task is None:

@@ -22,6 +22,7 @@ loop's iteration space into a worker task.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Iterator
 
 from ..chapel.types import (
@@ -57,8 +58,10 @@ class RangeValue:
         if self.step == 0:
             raise RuntimeError_("range step cannot be zero")
 
-    @property
+    @cached_property
     def size(self) -> int:
+        # cached: ranges are immutable and size is read per iteration
+        # step (IterInit bounds, coords_of) in the interpreter hot path.
         if self.step > 0:
             if self.hi < self.lo:
                 return 0
@@ -104,7 +107,7 @@ class DomainValue:
     def rank(self) -> int:
         return len(self.dims)
 
-    @property
+    @cached_property
     def size(self) -> int:
         n = 1
         for d in self.dims:
@@ -143,12 +146,30 @@ class DomainValue:
         return DomainValue(dims)
 
     def contains(self, coords: tuple[int, ...]) -> bool:
-        return all(d.contains(c) for d, c in zip(self.dims, coords))
+        dims = self.dims
+        if len(dims) == 1:
+            return dims[0].contains(coords[0])
+        return all(d.contains(c) for d, c in zip(dims, coords))
 
     def flat_of(self, coords: tuple[int, ...]) -> int:
         """Row-major linearization of a coordinate."""
+        dims = self.dims
+        if len(dims) == 1:
+            # Rank-1 unit-step: the dominant array layout in the
+            # benchmarks — one compare pair and a subtraction.
+            d = dims[0]
+            c = coords[0]
+            if d.step == 1:
+                if d.lo <= c <= d.hi:
+                    return c - d.lo
+            elif d.contains(c):
+                return d.position_of(c)
+            raise RuntimeError_(
+                f"index {coords} out of bounds for domain "
+                f"{{{', '.join(map(str, dims))}}}"
+            )
         flat = 0
-        for d, c in zip(self.dims, coords):
+        for d, c in zip(dims, coords):
             if not d.contains(c):
                 raise RuntimeError_(
                     f"index {coords} out of bounds for domain "
@@ -158,8 +179,12 @@ class DomainValue:
         return flat
 
     def coords_of(self, flat: int) -> tuple[int, ...]:
+        dims = self.dims
+        if len(dims) == 1:
+            d = dims[0]
+            return (d.lo + (flat % d.size) * d.step,)
         coords: list[int] = []
-        for d in reversed(self.dims):
+        for d in reversed(dims):
             coords.append(d.nth(flat % d.size))
             flat //= d.size
         coords.reverse()
@@ -299,11 +324,26 @@ class ArrayValue:
 
     def flat_of(self, coords: tuple[int, ...]) -> int:
         """Flat index into the root's data for view coordinates."""
+        root = self.root
+        if root is self:
+            # Root array: the view domain IS the storage domain and
+            # there is no coordinate translation, so a single bounds
+            # check (inside the domain's flat_of) suffices.  The
+            # out-of-bounds message is textually identical to the view
+            # path's.
+            dom = self.domain
+            dims = dom.dims
+            if len(dims) == 1:
+                d = dims[0]
+                c = coords[0]
+                if d.step == 1 and d.lo <= c <= d.hi:
+                    return c - d.lo
+            return dom.flat_of(coords)
         if not self.domain.contains(coords):
             raise RuntimeError_(
                 f"index {coords} out of bounds for domain {self.domain}"
             )
-        return self.root.domain.flat_of(self.root_coords(coords))
+        return root.domain.flat_of(self.root_coords(coords))
 
     def elem_address(self, coords: tuple[int, ...]) -> tuple[list, int]:
         return (self.root.data, self.flat_of(coords))
