@@ -1,0 +1,50 @@
+"""Blame-guided static analysis suite (the "advisor").
+
+The paper's speedups came from optimizations an expert *read out of*
+the blame tables — de-zippering, domain-remap removal, structure
+flattening, tuple-temporary elimination, allocation hoisting.  This
+package closes the loop: a diagnostics engine whose passes detect those
+anti-patterns statically over the IR/CFG/data-flow substrate, a static
+race detector for ``forall``/``coforall`` bodies, and a ranker that
+joins the findings with a measured blame profile so each recommendation
+carries the blame percentage of the variables it touches.
+
+Typical use::
+
+    from repro.analysis import analyze_module, rank_findings
+    findings = analyze_module(module)          # static only
+    findings = rank_findings(findings, report) # + blame percentages
+"""
+
+from .context import AnalysisContext
+from .diagnostics import (
+    Finding,
+    Severity,
+    findings_to_json,
+    max_severity,
+    render_findings,
+)
+from .passes import (
+    PASS_REGISTRY,
+    AnalysisPass,
+    analyze_module,
+    default_passes,
+)
+from .races import RaceDetectorPass
+from .ranker import attach_blame, rank_findings
+
+__all__ = [
+    "AnalysisContext",
+    "AnalysisPass",
+    "Finding",
+    "PASS_REGISTRY",
+    "RaceDetectorPass",
+    "Severity",
+    "analyze_module",
+    "attach_blame",
+    "default_passes",
+    "findings_to_json",
+    "max_severity",
+    "rank_findings",
+    "render_findings",
+]

@@ -1,0 +1,508 @@
+"""Optimization-advisor passes: the paper's hand optimizations, detected.
+
+Each pass statically recognizes one anti-pattern that Johnson &
+Hollingsworth removed by hand after reading the blame tables:
+
+* ``ZipperedIterationPass``   — MiniMD's de-zippering (§V.A);
+* ``DomainRemapPass``         — MiniMD's hoisted domains / direct
+  indexing instead of per-iteration slice views (§V.A);
+* ``RecordFlatteningPass``    — CLOMP's ``partArray->zoneArray``
+  flattening into one dense array (§V.B);
+* ``TupleTemporariesPass``    — LULESH's CENN rewrite (§V.C);
+* ``AllocationHoistPass``     — LULESH's Variable Globalization (§V.C);
+* ``ParamUnrollPass``         — LULESH's ``param`` loop tags (Table VII).
+
+All of them consume the shared :class:`AnalysisContext` substrate (IR,
+CFG/dominators, natural loops, blame-pipeline data flow) and emit
+:class:`Finding` records anchored to debug locations.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from ..blame.dataflow import DataFlow, Root
+from ..chapel.types import TupleType
+from ..ir import instructions as I
+from ..ir.module import BasicBlock, Function
+from .context import AnalysisContext
+from .diagnostics import Finding, Severity
+from .passes import AnalysisPass, register_pass
+
+
+def _root_names(df: DataFlow, roots: frozenset[Root]) -> list[str]:
+    """User-visible variable names for a root set (temps hidden)."""
+    names: set[str] = set()
+    for key, _path in roots:
+        meta = df.var_meta.get(key)
+        if meta is not None and not meta.is_temp:
+            names.add(meta.name)
+    return sorted(names)
+
+
+def _iter_blocks(fn: Function):
+    for block in fn.blocks:
+        for instr in block.instructions:
+            yield block, instr
+
+
+@register_pass
+class ZipperedIterationPass(AnalysisPass):
+    """Flags zippered iteration in code that runs repeatedly."""
+
+    name = "zippered-iteration"
+    description = "zip() iteration overhead in hot loops (MiniMD §V.A)"
+
+    def run(self, ctx: AnalysisContext) -> list[Finding]:
+        findings: list[Finding] = []
+        for fn in ctx.user_functions():
+            df = ctx.dataflow(fn)
+            # One zip() expression lowers to one IterInit per iterand,
+            # all at the zip's source location — group them back.
+            groups: dict[tuple[str, int], list[tuple[BasicBlock, I.IterInit]]]
+            groups = defaultdict(list)
+            for block, instr in _iter_blocks(fn):
+                if isinstance(instr, I.IterInit) and instr.zippered:
+                    groups[(instr.loc.filename, instr.loc.line)].append(
+                        (block, instr)
+                    )
+            for (fname, line), items in groups.items():
+                hot = any(ctx.is_hot(fn, b) for b, _ in items)
+                variables: set[str] = set()
+                for _, instr in items:
+                    variables.update(
+                        _root_names(df, df.roots_of(instr.iterable))
+                    )
+                names = sorted(variables)
+                over = f" over {', '.join(names)}" if names else ""
+                findings.append(
+                    Finding(
+                        rule=self.name,
+                        severity=Severity.WARNING if hot else Severity.INFO,
+                        message=(
+                            f"zippered iteration{over}: each step advances "
+                            f"{len(items)} coordinated iterators"
+                        ),
+                        file=fname,
+                        line=line,
+                        function=ctx.source_context(fn),
+                        variables=tuple(names),
+                        remediation=(
+                            "iterate one domain and index the arrays "
+                            "directly (the paper's MiniMD de-zippering)"
+                        ),
+                        iids=tuple(i.iid for _, i in items),
+                    )
+                )
+        return findings
+
+
+@register_pass
+class DomainRemapPass(AnalysisPass):
+    """Flags slice/reindex/domain views rebuilt inside loops."""
+
+    name = "loop-domain-remap"
+    description = "per-iteration domain remap / slice views (MiniMD §V.A)"
+
+    _DERIVING_DOMAIN_OPS = frozenset({"expand", "translate", "interior"})
+
+    def run(self, ctx: AnalysisContext) -> list[Finding]:
+        findings: list[Finding] = []
+        for fn in ctx.user_functions():
+            df = ctx.dataflow(fn)
+            groups: dict[tuple[str, int], list[tuple[str, I.Instruction, frozenset[Root]]]]
+            groups = defaultdict(list)
+            for block, instr in _iter_blocks(fn):
+                if not ctx.in_loop(fn, block):
+                    continue
+                if isinstance(instr, (I.ArraySlice, I.ArrayReindex)):
+                    kind = (
+                        "slice" if isinstance(instr, I.ArraySlice) else "reindex"
+                    )
+                    groups[(instr.loc.filename, instr.loc.line)].append(
+                        (kind, instr, df.roots_of(instr.base))
+                    )
+                elif isinstance(instr, I.MakeDomain):
+                    groups[(instr.loc.filename, instr.loc.line)].append(
+                        ("domain build", instr, frozenset())
+                    )
+                elif (
+                    isinstance(instr, I.DomainOp)
+                    and instr.op in self._DERIVING_DOMAIN_OPS
+                ):
+                    groups[(instr.loc.filename, instr.loc.line)].append(
+                        (f"domain {instr.op}", instr, df.roots_of(instr.base))
+                    )
+            for (fname, line), items in groups.items():
+                variables: set[str] = set()
+                for _, _, roots in items:
+                    variables.update(_root_names(df, roots))
+                names = sorted(variables)
+                kinds = sorted({k for k, _, _ in items})
+                of = f" of {', '.join(names)}" if names else ""
+                findings.append(
+                    Finding(
+                        rule=self.name,
+                        severity=Severity.WARNING,
+                        message=(
+                            f"{'/'.join(kinds)}{of} rebuilt every loop "
+                            "iteration (descriptor allocation + index "
+                            "translation per pass)"
+                        ),
+                        file=fname,
+                        line=line,
+                        function=ctx.source_context(fn),
+                        variables=tuple(names),
+                        remediation=(
+                            "hoist the domain/view out of the loop or "
+                            "index the base array directly"
+                        ),
+                        iids=tuple(i.iid for _, i, _ in items),
+                    )
+                )
+        return findings
+
+
+@register_pass
+class RecordFlatteningPass(AnalysisPass):
+    """Flags indexing into an array field reached through a class
+    pointer — the CLOMP ``partArray[i].zoneArray[j]`` double hop."""
+
+    name = "record-flattening"
+    description = "nested class indirection; flattening candidate (CLOMP §V.B)"
+
+    def run(self, ctx: AnalysisContext) -> list[Finding]:
+        findings: list[Finding] = []
+        for fn in ctx.user_functions():
+            df = ctx.dataflow(fn)
+            # (field name) → evidence
+            groups: dict[str, list[tuple[BasicBlock, I.ElemAddr, Root]]]
+            groups = defaultdict(list)
+            for block, instr in _iter_blocks(fn):
+                if not isinstance(instr, I.ElemAddr):
+                    continue
+                for root in df.roots_of(instr.base):
+                    cfields = [e for e in root[1] if e[0] == "cfield"]
+                    if cfields:
+                        groups[cfields[-1][1]].append((block, instr, root))
+            for fieldname, items in groups.items():
+                hot = any(ctx.is_hot(fn, b) for b, _, _ in items)
+                owners: set[str] = set()
+                for _, _, (key, _path) in items:
+                    meta = df.var_meta.get(key)
+                    if meta is not None and not meta.is_temp:
+                        owners.add(meta.name)
+                first = min(items, key=lambda t: (t[1].loc.line, t[1].iid))
+                names = tuple(sorted(owners) + [fieldname])
+                findings.append(
+                    Finding(
+                        rule=self.name,
+                        severity=Severity.WARNING if hot else Severity.INFO,
+                        message=(
+                            f"element access to field '{fieldname}' goes "
+                            f"through a class indirection "
+                            f"({' / '.join(sorted(owners)) or 'object'}"
+                            f" -> {fieldname}[..]): two dependent loads "
+                            "per access"
+                        ),
+                        file=first[1].loc.filename,
+                        line=first[1].loc.line,
+                        function=ctx.source_context(fn),
+                        variables=names,
+                        remediation=(
+                            "flatten the per-object arrays into one "
+                            "dense array indexed [object, element] "
+                            "(the paper's CLOMP rewrite)"
+                        ),
+                        iids=tuple(i.iid for _, i, _ in items),
+                    )
+                )
+        return findings
+
+
+@register_pass
+class TupleTemporariesPass(AnalysisPass):
+    """Flags tuple construct/teardown churn inside loops (CENN)."""
+
+    name = "tuple-temporaries"
+    description = "tuple temporaries built per iteration (LULESH CENN §V.C)"
+
+    #: Thresholds: a loop body constructing this many tuples and doing
+    #: tuple-typed arithmetic is paying measurable churn; a stray
+    #: literal tuple or two is normal code.
+    MIN_MAKETUPLES = 3
+    MIN_TUPLE_BINOPS = 2
+
+    def run(self, ctx: AnalysisContext) -> list[Finding]:
+        findings: list[Finding] = []
+        for fn in ctx.user_functions():
+            makes: list[I.MakeTuple] = []
+            tuple_ops: list[I.BinOp] = []
+            for block, instr in _iter_blocks(fn):
+                if not ctx.in_loop(fn, block):
+                    continue
+                if isinstance(instr, I.MakeTuple):
+                    makes.append(instr)
+                elif isinstance(instr, I.BinOp) and isinstance(
+                    getattr(instr.result, "type", None), TupleType
+                ):
+                    tuple_ops.append(instr)
+            if (
+                len(makes) < self.MIN_MAKETUPLES
+                or len(tuple_ops) < self.MIN_TUPLE_BINOPS
+            ):
+                continue
+            df = ctx.dataflow(fn)
+            # Name the locals the temporaries land in (CENN's px/curx/sumx).
+            landed: set[str] = set()
+            make_regs = {m.result for m in makes} | {
+                op.result for op in tuple_ops
+            }
+            for _, instr in _iter_blocks(fn):
+                if isinstance(instr, I.Store) and instr.value in make_regs:
+                    landed.update(_root_names(df, df.roots_of(instr.addr)))
+            first = min(makes, key=lambda m: (m.loc.line, m.iid))
+            findings.append(
+                Finding(
+                    rule=self.name,
+                    severity=Severity.WARNING,
+                    message=(
+                        f"{len(makes)} tuple temporaries constructed and "
+                        f"{len(tuple_ops)} tuple-arithmetic ops per loop "
+                        "iteration: construct/destruct churn dominates "
+                        "the useful flops"
+                    ),
+                    file=first.loc.filename,
+                    line=first.loc.line,
+                    function=ctx.source_context(fn),
+                    variables=tuple(sorted(landed)),
+                    remediation=(
+                        "assign intermediate results directly into the "
+                        "destination (the paper's CalcElemNodeNormals "
+                        "rewrite, CENN)"
+                    ),
+                    iids=tuple(m.iid for m in makes),
+                )
+            )
+        return findings
+
+
+@register_pass
+class AllocationHoistPass(AnalysisPass):
+    """Flags array allocations that repeat per call or per iteration
+    over a loop-invariant domain (Variable Globalization)."""
+
+    name = "hoistable-allocation"
+    description = "per-call/per-iteration array allocation (LULESH VG §V.C)"
+
+    def run(self, ctx: AnalysisContext) -> list[Finding]:
+        findings: list[Finding] = []
+        for fn in ctx.user_functions():
+            if fn.source_name == "main" and fn.outlined_from is None:
+                # main runs once; its entry-block allocations are free.
+                only_loops = True
+            else:
+                only_loops = False
+            df = ctx.dataflow(fn)
+            for block, instr in _iter_blocks(fn):
+                if not isinstance(instr, I.MakeArray):
+                    continue
+                in_loop = ctx.in_loop(fn, block)
+                per_call = (
+                    not in_loop
+                    and not only_loops
+                    and fn.name in ctx.loop_resident
+                    # Loop-invariant domain: rooted in module globals,
+                    # so the same extent is re-allocated every call.
+                    and any(
+                        key.kind == "global"
+                        for key, _ in df.roots_of(instr.domain)
+                    )
+                )
+                if not in_loop and not per_call:
+                    continue
+                target = self._alloc_target(fn, df, instr)
+                how = (
+                    "every loop iteration"
+                    if in_loop
+                    else "every call (and this function runs inside a loop)"
+                )
+                findings.append(
+                    Finding(
+                        rule=self.name,
+                        severity=Severity.WARNING,
+                        message=(
+                            f"array {target or '(temporary)'} is heap-"
+                            f"allocated {how}"
+                        ),
+                        file=instr.loc.filename,
+                        line=instr.loc.line,
+                        function=ctx.source_context(fn),
+                        variables=(target,) if target else (),
+                        remediation=(
+                            "hoist the declaration to module scope and "
+                            "reuse the buffer (the paper's Variable "
+                            "Globalization)"
+                        ),
+                        iids=(instr.iid,),
+                    )
+                )
+        return findings
+
+    @staticmethod
+    def _alloc_target(
+        fn: Function, df: DataFlow, alloc: I.MakeArray
+    ) -> str | None:
+        """Name of the variable the fresh array is stored into."""
+        for _, instr in _iter_blocks(fn):
+            if isinstance(instr, I.Store) and instr.value is alloc.result:
+                names = _root_names(df, df.roots_of(instr.addr))
+                if names:
+                    return names[0]
+        return None
+
+
+@register_pass
+class ParamUnrollPass(AnalysisPass):
+    """Flags serial loops over small literal ranges that a ``param``
+    tag would unroll at compile time (paper Table VII's P knobs).
+
+    Literal-range ``for`` loops lower to a direct counter loop (not the
+    iterator protocol): the index cell gets exactly two stores — a
+    constant initialization and a ``+1`` increment — and the header
+    compares it ``<=`` against a constant bound (possibly spilled into
+    a ``_<name>_hi`` temporary).  That shape, with a trip count small
+    enough to unroll, is the candidate.
+    """
+
+    name = "param-unroll"
+    description = "small constant-trip loop; `for param` candidate (Table VII)"
+
+    MAX_TRIP = 8
+
+    def run(self, ctx: AnalysisContext) -> list[Finding]:
+        findings: list[Finding] = []
+        for fn in ctx.user_functions():
+            findings.extend(self._scan_function(ctx, fn))
+        return findings
+
+    def _scan_function(
+        self, ctx: AnalysisContext, fn: Function
+    ) -> list[Finding]:
+        allocas: dict[I.Register, I.Alloca] = {}
+        for _, instr in _iter_blocks(fn):
+            if isinstance(instr, I.Alloca) and instr.result is not None:
+                allocas[instr.result] = instr
+        stores_to: dict[I.Register, list[I.Value]] = defaultdict(list)
+        for _, instr in _iter_blocks(fn):
+            if (
+                isinstance(instr, I.Store)
+                and isinstance(instr.addr, I.Register)
+                and instr.addr in allocas
+            ):
+                stores_to[instr.addr].append(instr.value)
+
+        def is_load_of(value: I.Value, cell: I.Register) -> bool:
+            return (
+                isinstance(value, I.Register)
+                and isinstance(value.producer, I.Load)
+                and value.producer.addr is cell
+            )
+
+        def const_bound(value: I.Value) -> int | None:
+            if isinstance(value, I.Constant) and isinstance(value.value, int):
+                return value.value
+            if (
+                isinstance(value, I.Register)
+                and isinstance(value.producer, I.Load)
+                and isinstance(value.producer.addr, I.Register)
+            ):
+                cell = value.producer.addr
+                vals = stores_to.get(cell, [])
+                if (
+                    len(vals) == 1
+                    and isinstance(vals[0], I.Constant)
+                    and isinstance(vals[0].value, int)
+                ):
+                    return vals[0].value
+            return None
+
+        findings: list[Finding] = []
+        # An enclosing `param` loop clones its body: the same source
+        # loop appears once per unrolled copy.  Report it once.
+        emitted: set[tuple[str, int, str]] = set()
+        for cell, alloca in allocas.items():
+            if alloca.is_temp:
+                continue
+            dedup = (alloca.loc.filename, alloca.loc.line, alloca.var_name)
+            if dedup in emitted:
+                continue
+            vals = stores_to.get(cell, [])
+            if len(vals) != 2:
+                continue
+            inits = [
+                v
+                for v in vals
+                if isinstance(v, I.Constant) and isinstance(v.value, int)
+            ]
+            steps = [
+                v
+                for v in vals
+                if isinstance(v, I.Register)
+                and isinstance(v.producer, I.BinOp)
+                and v.producer.op == "+"
+            ]
+            if len(inits) != 1 or len(steps) != 1:
+                continue
+            inc = steps[0].producer
+            unit = lambda a, b: (  # noqa: E731 — tiny local predicate
+                is_load_of(a, cell)
+                and isinstance(b, I.Constant)
+                and b.value == 1
+            )
+            if not (unit(inc.lhs, inc.rhs) or unit(inc.rhs, inc.lhs)):
+                continue
+            lo = inits[0].value
+            for block, instr in _iter_blocks(fn):
+                if not (
+                    isinstance(instr, I.BinOp)
+                    and instr.op == "<="
+                    and is_load_of(instr.lhs, cell)
+                ):
+                    continue
+                hi = const_bound(instr.rhs)
+                if hi is None:
+                    continue
+                trip = hi - lo + 1
+                if not (2 <= trip <= self.MAX_TRIP):
+                    break
+                hot = ctx.is_hot(fn, block)
+                emitted.add(dedup)
+                findings.append(
+                    Finding(
+                        rule=self.name,
+                        severity=Severity.INFO,
+                        message=(
+                            f"loop over literal range {lo}..{hi} "
+                            f"({trip} trips) pays per-iteration "
+                            "counter/branch overhead "
+                            + (
+                                "inside a hot region"
+                                if hot
+                                else "at every execution"
+                            )
+                        ),
+                        file=alloca.loc.filename,
+                        line=alloca.loc.line,
+                        function=ctx.source_context(fn),
+                        variables=(alloca.var_name,),
+                        remediation=(
+                            f"tag the loop `for param "
+                            f"{alloca.var_name} in {lo}..{hi}` to unroll "
+                            "it at compile time (paper Table VII)"
+                        ),
+                        iids=(alloca.iid, instr.iid),
+                    )
+                )
+                break
+        return findings

@@ -1,0 +1,173 @@
+"""Structured diagnostics: :class:`Finding` records and rendering.
+
+A finding is one actionable observation produced by an analysis pass:
+a rule id from the catalog, a severity, source anchors resolved from IR
+debug info, the source variables involved, and a remediation hint tied
+to the paper's corresponding hand optimization.  The text and JSON
+renderings are stable — the CLI's ``--json`` output is a contract for
+CI gates and editor tooling.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import asdict, dataclass
+
+
+class Severity(enum.IntEnum):
+    """Ordered so comparisons read naturally: ERROR > WARNING > INFO."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    @property
+    def label(self) -> str:
+        return self.name.lower()
+
+    @classmethod
+    def parse(cls, text: str) -> "Severity":
+        try:
+            return cls[text.strip().upper()]
+        except KeyError:
+            raise ValueError(
+                f"unknown severity {text!r} (want info/warning/error)"
+            ) from None
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic produced by an advisor pass or the race detector."""
+
+    rule: str  # stable rule id from the catalog, e.g. "zippered-iteration"
+    severity: Severity
+    message: str
+    file: str
+    line: int
+    function: str  # source-level context (outlined bodies report their origin)
+    variables: tuple[str, ...] = ()
+    remediation: str = ""
+    #: Instruction ids anchoring the finding (evidence for drill-down).
+    iids: tuple[int, ...] = ()
+    #: Filled by the blame-guided ranker when a profile is available:
+    #: the highest blame fraction among `variables` (0..1), else None.
+    blame: float | None = None
+
+    @property
+    def where(self) -> str:
+        return f"{self.file}:{self.line}"
+
+    @property
+    def blame_percent(self) -> float | None:
+        return None if self.blame is None else 100.0 * self.blame
+
+    def with_blame(self, blame: float | None) -> "Finding":
+        from dataclasses import replace
+
+        return replace(self, blame=blame)
+
+
+def max_severity(findings: list[Finding]) -> Severity | None:
+    return max((f.severity for f in findings), default=None)
+
+
+def sort_key(f: Finding):
+    """Most severe first; within a severity, highest blame first, then
+    stable source order."""
+    return (
+        -int(f.severity),
+        -(f.blame if f.blame is not None else -1.0),
+        f.file,
+        f.line,
+        f.rule,
+        f.message,
+    )
+
+
+def render_finding(f: Finding) -> str:
+    head = f"{f.severity.label:<7} [{f.rule}] {f.where} ({f.function})"
+    blame = ""
+    if f.blame is not None:
+        blame = f" [blame {100.0 * f.blame:.1f}%]"
+    lines = [f"{head}{blame}: {f.message}"]
+    if f.variables:
+        lines.append(f"        variables: {', '.join(f.variables)}")
+    if f.remediation:
+        lines.append(f"        hint: {f.remediation}")
+    return "\n".join(lines)
+
+
+def render_findings(findings: list[Finding], title: str | None = None) -> str:
+    """Stable text rendering (sorted; severity totals in the footer)."""
+    ordered = sorted(findings, key=sort_key)
+    out: list[str] = []
+    if title:
+        out.append(title)
+    if not ordered:
+        out.append("no findings")
+        return "\n".join(out)
+    out.extend(render_finding(f) for f in ordered)
+    counts: dict[str, int] = {}
+    for f in ordered:
+        counts[f.severity.label] = counts.get(f.severity.label, 0) + 1
+    summary = ", ".join(
+        f"{counts[s]} {s}" for s in ("error", "warning", "info") if s in counts
+    )
+    out.append(f"-- {len(ordered)} finding(s): {summary}")
+    return "\n".join(out)
+
+
+def finding_to_dict(f: Finding) -> dict:
+    d = asdict(f)
+    d["severity"] = f.severity.label
+    d["variables"] = list(f.variables)
+    d["iids"] = list(f.iids)
+    return d
+
+
+def findings_to_json(findings: list[Finding], indent: int | None = 2) -> str:
+    ordered = sorted(findings, key=sort_key)
+    return json.dumps([finding_to_dict(f) for f in ordered], indent=indent)
+
+
+#: Rule catalog: id → (default severity, one-line description).  The
+#: descriptions double as documentation in DESIGN.md §6 and the README.
+RULE_CATALOG: dict[str, tuple[Severity, str]] = {
+    "zippered-iteration": (
+        Severity.WARNING,
+        "zippered iteration in a hot loop pays per-step multi-iterator "
+        "coordination (paper §V.A, MiniMD)",
+    ),
+    "loop-domain-remap": (
+        Severity.WARNING,
+        "domain/slice/reindex view rebuilt per loop iteration "
+        "(paper §V.A, MiniMD domain remapping)",
+    ),
+    "record-flattening": (
+        Severity.WARNING,
+        "array-of-class element whose field is itself indexed: every "
+        "access dereferences through the object (paper §V.B, CLOMP "
+        "partArray->zoneArray)",
+    ),
+    "tuple-temporaries": (
+        Severity.WARNING,
+        "tuple temporaries constructed and torn down inside a loop "
+        "(paper §V.C, LULESH CalcElemNodeNormals)",
+    ),
+    "hoistable-allocation": (
+        Severity.WARNING,
+        "array allocated per call/iteration over a loop-invariant "
+        "domain (paper §V.C, LULESH Variable Globalization)",
+    ),
+    "param-unroll": (
+        Severity.INFO,
+        "small constant-trip loop; a `for param` unroll removes the "
+        "iterator overhead (paper Table VII)",
+    ),
+    "forall-race": (
+        Severity.ERROR,
+        "conflicting writes to a shared variable from concurrent tasks "
+        "(no reduce intent, no index-disjoint addressing)",
+    ),
+}

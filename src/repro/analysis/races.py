@@ -1,0 +1,415 @@
+"""Static race detector for ``forall``/``coforall`` bodies.
+
+A parallel loop's outlined body runs concurrently in many tasks.  A
+write is a *data race candidate* when its storage root is shared across
+tasks — a module global, or a by-reference capture of an enclosing
+variable — and the written address does not depend on the task-private
+loop index (index-disjoint addressing), and the variable is not
+protected by a ``with (op reduce x)`` intent.
+
+The detector reuses the blame pipeline's storage roots
+(:mod:`repro.blame.dataflow`) so "what storage does this write touch"
+is answered by the exact machinery that attributes PMU samples, and
+follows calls out of the task body (depth-limited) with a per-formal
+index-dependence binding, so ``update(buf, i)`` writing ``buf[i]`` or a
+global at ``[i, j]`` is recognized as disjoint.
+
+Known over-approximations (documented, not bugs): index dependence is
+taken as disjointness, so non-injective addressing like ``A[i % 2]``
+is not flagged; aliasing through data structures built at runtime
+relies on the flow-insensitive root analysis.
+"""
+
+from __future__ import annotations
+
+from ..blame.dataflow import DataFlow, VarKey, is_pointer_like
+from ..ir import instructions as I
+from ..ir.module import Function
+from .context import AnalysisContext
+from .diagnostics import Finding, Severity
+from .passes import AnalysisPass, register_pass
+
+#: How far the detector follows calls out of a task body.
+MAX_CALL_DEPTH = 3
+
+_REMEDIATION = (
+    "protect the variable with a reduce intent "
+    "(`with (+ reduce x)`), make the write index-disjoint, or keep a "
+    "task-private copy and combine after the loop"
+)
+
+
+def _caller_visible_writers(df: DataFlow, param) -> set[I.Instruction]:
+    """Instructions in a callee that write through formal ``param``
+    into *caller-visible* storage.
+
+    ``ref`` formals hold a caller address: every recorded write counts.
+    ``in`` formals of pointer-like type (class instances, arrays)
+    share the referenced object, so writes along a non-empty path
+    (``p.field = ..``) and forwarding calls count — but the callee's
+    prologue spill into the formal's home cell (an empty-path store of
+    the incoming value) is a local rebinding, not a caller-visible
+    write.  Plain-value ``in`` formals never write back.
+    """
+    fkey = VarKey("formal", param.name)
+    out: set[I.Instruction] = set()
+    if param.intent == "ref":
+        out.update(df.writes.get(fkey, ()))
+        for root, instrs in df.path_writes.items():
+            if root[0] == fkey:
+                out.update(instrs)
+    elif is_pointer_like(param.type):
+        for root, instrs in df.path_writes.items():
+            if root[0] == fkey and len(root[1]) > 0:
+                out.update(instrs)
+        for w in df.writes.get(fkey, ()):
+            if isinstance(w, I.Call):
+                out.add(w)
+    return out
+
+
+@register_pass
+class RaceDetectorPass(AnalysisPass):
+    """Reports conflicting concurrent writes in parallel-loop bodies."""
+
+    name = "forall-race"
+    description = "shared-variable writes in forall/coforall tasks"
+
+    def run(self, ctx: AnalysisContext) -> list[Finding]:
+        findings: list[Finding] = []
+        seen_bodies: set[str] = set()
+        for fn in ctx.module.functions.values():
+            for block in fn.blocks:
+                for instr in block.instructions:
+                    if not isinstance(instr, I.SpawnJoin):
+                        continue
+                    if instr.outlined in seen_bodies:
+                        continue
+                    seen_bodies.add(instr.outlined)
+                    body = ctx.module.get_function(instr.outlined)
+                    if body is not None:
+                        findings.extend(_TaskChecker(ctx, body, instr).check())
+        return findings
+
+
+class _TaskChecker:
+    """Checks one outlined parallel-loop body for racy writes."""
+
+    def __init__(
+        self, ctx: AnalysisContext, body: Function, spawn: I.SpawnJoin
+    ) -> None:
+        self.ctx = ctx
+        self.body = body
+        self.spawn = spawn
+        self.df = ctx.dataflow(body)
+        #: IterValue results that yield the task-private chunk indices.
+        self.index_regs = self._chunk_index_regs(body, self.df)
+        self.reported: set[tuple[str, str, int]] = set()
+        self.findings: list[Finding] = []
+
+    # -- entry ---------------------------------------------------------------
+
+    def check(self) -> list[Finding]:
+        self._check_function(
+            self.body,
+            self.df,
+            seeds=frozenset(),
+            index_regs=self.index_regs,
+            depth=0,
+        )
+        return self.findings
+
+    # -- task-private index discovery ---------------------------------------
+
+    @staticmethod
+    def _chunk_index_regs(body: Function, df: DataFlow) -> frozenset[I.Register]:
+        """Registers produced by IterValue over the task's chunk(s)."""
+        chunk_states: set[I.Register] = set()
+        for instr in body.instructions():
+            if isinstance(instr, I.IterInit) and any(
+                key.kind == "formal" and str(key.ident).startswith("_chunk")
+                for key, _ in df.roots_of(instr.iterable)
+            ):
+                if instr.result is not None:
+                    chunk_states.add(instr.result)
+        regs: set[I.Register] = set()
+        for instr in body.instructions():
+            if (
+                isinstance(instr, I.IterValue)
+                and isinstance(instr.state, I.Register)
+                and instr.state in chunk_states
+                and instr.result is not None
+            ):
+                regs.add(instr.result)
+        return frozenset(regs)
+
+    # -- index-dependence walk ----------------------------------------------
+
+    def _depends(
+        self,
+        value: I.Value,
+        fn: Function,
+        df: DataFlow,
+        seeds: frozenset[VarKey],
+        index_regs: frozenset[I.Register],
+        seen: set[int] | None = None,
+    ) -> bool:
+        """True when ``value`` is derived from a task-private index: the
+        chunk IterValue itself, a cell it was stored into, a seed formal
+        (bound to an index-dependent actual at the callsite), or any
+        computation over those."""
+        if not isinstance(value, I.Register):
+            return False
+        if value in index_regs:
+            return True
+        if seen is None:
+            seen = set()
+        producer = value.producer
+        if producer is None:
+            # A formal's register: index-dependent iff the binding says so.
+            for p in fn.params:
+                if p.register is value:
+                    return VarKey("formal", p.name) in seeds
+            return False
+        if producer.iid in seen:
+            return False
+        seen.add(producer.iid)
+        if isinstance(producer, I.Load):
+            roots = df.roots_of(producer.addr)
+            if any(key in seeds for key, _ in roots):
+                return True
+            # A load of a local cell carries whatever was stored there:
+            # chase the stored values (this is how `i` reaches uses —
+            # `store itervalue, %i.addr; ... load %i.addr`).
+            for key, _ in roots:
+                if key.kind not in ("local", "formal"):
+                    continue
+                for w in df.writes.get(key, ()):
+                    if isinstance(w, I.Store) and self._depends(
+                        w.value, fn, df, seeds, index_regs, seen
+                    ):
+                        return True
+            # A load *at* an index-dependent address (A[i]) yields a
+            # task-distinct value too.
+            return self._depends(
+                producer.addr, fn, df, seeds, index_regs, seen
+            )
+        return any(
+            self._depends(op, fn, df, seeds, index_regs, seen)
+            for op in producer.operands()
+        )
+
+    # -- shared-root classification -----------------------------------------
+
+    def _shared_name(self, key: VarKey) -> str | None:
+        """The user-visible name if ``key`` is storage shared across
+        tasks (and not reduce-protected), else None."""
+        if key.kind == "global":
+            name = str(key.ident)
+            return None if name in self.body.reduce_vars else name
+        if key.kind == "formal":
+            name = str(key.ident)
+            if name.startswith("_chunk") or name in self.body.reduce_vars:
+                return None
+            # Ref-capture formals alias one enclosing variable shared by
+            # every task.  (This check only applies in the task body
+            # itself; callee formals are handled via bindings.)
+            return name
+        return None
+
+    # -- the sweep -----------------------------------------------------------
+
+    def _check_function(
+        self,
+        fn: Function,
+        df: DataFlow,
+        seeds: frozenset[VarKey],
+        index_regs: frozenset[I.Register],
+        depth: int,
+    ) -> None:
+        """Scans ``fn`` (the task body at depth 0, callees below) for
+        writes to shared storage whose address is not index-disjoint."""
+        in_body = depth == 0
+        for instr in fn.instructions():
+            if isinstance(instr, I.Store):
+                self._check_store(instr, fn, df, seeds, index_regs, in_body)
+            elif isinstance(instr, I.Call) and not instr.is_builtin:
+                self._check_call(instr, fn, df, seeds, index_regs, depth)
+
+    def _check_store(
+        self,
+        store: I.Store,
+        fn: Function,
+        df: DataFlow,
+        seeds: frozenset[VarKey],
+        index_regs: frozenset[I.Register],
+        in_body: bool,
+    ) -> None:
+        shared: list[tuple[VarKey, str]] = []
+        for key, _path in df.roots_of(store.addr):
+            if key.kind == "global":
+                name = str(key.ident)
+                if name not in self.body.reduce_vars:
+                    shared.append((key, name))
+            elif key.kind == "formal" and in_body:
+                name = self._shared_name(key)
+                if name is not None:
+                    shared.append((key, name))
+            # Callee formals (not in_body) reached here were already
+            # judged at their callsite binding; locals are task-private.
+        if not shared:
+            return
+        if self._depends(store.addr, fn, df, seeds, index_regs):
+            return  # index-disjoint addressing
+        for key, name in shared:
+            self._report(name, key, df, store)
+
+    def _check_call(
+        self,
+        call: I.Call,
+        fn: Function,
+        df: DataFlow,
+        seeds: frozenset[VarKey],
+        index_regs: frozenset[I.Register],
+        depth: int,
+    ) -> None:
+        callee = self.ctx.module.get_function(call.callee)
+        if callee is None or depth >= MAX_CALL_DEPTH:
+            return
+        callee_df = self.ctx.dataflow(callee)
+        # Bind each formal's index-dependence from its actual.
+        binding: dict[str, bool] = {}
+        for param, arg in zip(callee.params, call.args):
+            binding[param.name] = self._depends(
+                arg, fn, df, seeds, index_regs
+            )
+        callee_seeds = frozenset(
+            VarKey("formal", n) for n, dep in binding.items() if dep
+        )
+
+        # 1. Writes the callee makes through its ref/pointer formals
+        #    land in the actual's storage.
+        for param, arg in zip(callee.params, call.args):
+            writers = _caller_visible_writers(callee_df, param)
+            if not writers:
+                continue
+            if binding[param.name]:
+                continue  # the whole object is task-distinct
+            arg_shared = [
+                (key, name)
+                for key, name in (
+                    (k, self._resolve_shared(k, depth))
+                    for k, _ in df.roots_of(arg)
+                )
+                if name is not None
+            ]
+            if not arg_shared:
+                continue
+            # Shared object handed in whole: safe only if every write
+            # the callee makes to this formal is index-disjoint under
+            # the binding (e.g. `update(buf, i)` writing `buf[i]`).
+            if self._formal_writes_disjoint(
+                callee, callee_df, param, callee_seeds, depth + 1
+            ):
+                continue
+            for key, name in arg_shared:
+                self._report(name, key, df, call)
+
+        # 2. Globals the callee writes directly (or deeper).
+        self._check_function(
+            callee,
+            callee_df,
+            seeds=callee_seeds,
+            index_regs=frozenset(),
+            depth=depth + 1,
+        )
+
+    def _resolve_shared(self, key: VarKey, depth: int) -> str | None:
+        """Shared-name lookup valid at any depth: globals are always
+        shared; formals only count in the task body itself."""
+        if key.kind == "global":
+            name = str(key.ident)
+            return None if name in self.body.reduce_vars else name
+        if key.kind == "formal" and depth == 0:
+            return self._shared_name(key)
+        return None
+
+    def _formal_writes_disjoint(
+        self,
+        fn: Function,
+        df: DataFlow,
+        param,
+        seeds: frozenset[VarKey],
+        depth: int,
+    ) -> bool:
+        """True when every caller-visible write ``fn`` makes through
+        formal ``param`` uses an index-dependent address (given the
+        callsite binding)."""
+        fkey = VarKey("formal", param.name)
+        for w in _caller_visible_writers(df, param):
+            if isinstance(w, I.Store):
+                if not self._depends(w.addr, fn, df, seeds, frozenset()):
+                    return False
+            elif isinstance(w, I.Call) and not w.is_builtin:
+                if depth >= MAX_CALL_DEPTH:
+                    return False  # conservative: can't see that far
+                callee = self.ctx.module.get_function(w.callee)
+                if callee is None:
+                    return False
+                callee_df = self.ctx.dataflow(callee)
+                # Which callee formals receive storage rooted at fkey,
+                # and with what index binding?
+                ok = True
+                for sub_param, arg in zip(callee.params, w.args):
+                    if not any(
+                        key == fkey for key, _ in df.roots_of(arg)
+                    ):
+                        continue
+                    if self._depends(arg, fn, df, seeds, frozenset()):
+                        continue
+                    sub_binding = frozenset(
+                        VarKey("formal", p.name)
+                        for p, a in zip(callee.params, w.args)
+                        if self._depends(a, fn, df, seeds, frozenset())
+                    )
+                    if not self._formal_writes_disjoint(
+                        callee, callee_df, sub_param, sub_binding, depth + 1
+                    ):
+                        ok = False
+                        break
+                if not ok:
+                    return False
+            else:
+                # Descriptor/other writes to a shared object from
+                # inside a task: not index-disjoint by construction.
+                return False
+        return True
+
+    # -- reporting -----------------------------------------------------------
+
+    def _report(
+        self, name: str, key: VarKey, df: DataFlow, anchor: I.Instruction
+    ) -> None:
+        dedup = (self.body.name, name, anchor.loc.line)
+        if dedup in self.reported:
+            return
+        self.reported.add(dedup)
+        meta = df.var_meta.get(key)
+        display = meta.name if meta is not None and not meta.is_temp else name
+        self.findings.append(
+            Finding(
+                rule="forall-race",
+                severity=Severity.ERROR,
+                message=(
+                    f"'{display}' is written by every task of this "
+                    f"{self.spawn.kind} without a reduce intent or "
+                    "index-disjoint addressing: concurrent writes race"
+                ),
+                file=anchor.loc.filename,
+                line=anchor.loc.line,
+                function=self.ctx.source_context(self.body),
+                variables=(display,),
+                remediation=_REMEDIATION,
+                iids=(anchor.iid, self.spawn.iid),
+            )
+        )

@@ -1,0 +1,62 @@
+"""Blame-guided ranking: join static findings with a measured profile.
+
+The advisor's static passes say *what* to fix; the blame report says
+*what matters*.  :func:`rank_findings` attaches to each finding the
+highest blame fraction among its variables — matching both whole-
+variable rows (``force``) and hierarchical path rows (``->force[i]``,
+``->partArray[i].zoneArray[j].value``) — then re-sorts so, within a
+severity, the recommendation touching the most-blamed data comes first.
+This reproduces the paper's workflow: the expert scanned Table II/IV/VI
+top rows and fixed the code behind them, in order.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..blame.report import BlameReport, BlameRow
+from .diagnostics import Finding, sort_key
+
+#: Characters that may follow a variable's own name in a path row
+#: (``->name[i]``, ``->name.field``); guards against ``pos`` matching
+#: ``->position[i]``.
+_PATH_BOUNDARY = re.compile(r"^[.\[]")
+
+
+def _row_matches(row: BlameRow, variable: str) -> bool:
+    if row.name == variable:
+        return True
+    if row.is_path and row.name.startswith("->" + variable):
+        rest = row.name[len(variable) + 2 :]
+        return rest == "" or bool(_PATH_BOUNDARY.match(rest))
+    return False
+
+
+def blame_for_variables(
+    report: BlameReport, variables: tuple[str, ...]
+) -> float | None:
+    """Highest blame fraction any of ``variables`` carries in the
+    report (path rows included), or None when none appear."""
+    best: float | None = None
+    for row in report.rows:
+        for v in variables:
+            if _row_matches(row, v):
+                if best is None or row.blame > best:
+                    best = row.blame
+    return best
+
+
+def attach_blame(finding: Finding, report: BlameReport) -> Finding:
+    """One finding, annotated with its variables' measured blame."""
+    if not finding.variables:
+        return finding
+    return finding.with_blame(blame_for_variables(report, finding.variables))
+
+
+def rank_findings(
+    findings: list[Finding], report: BlameReport
+) -> list[Finding]:
+    """Annotates every finding with measured blame and re-sorts:
+    severity first, then blame (highest first), then source order."""
+    annotated = [attach_blame(f, report) for f in findings]
+    return sorted(annotated, key=sort_key)

@@ -1225,6 +1225,13 @@ class FunctionLowerer:
             loc,
             outlined_from=self.fn.name,
         )
+        if stmt.reduce_intents:
+            # Debug metadata for the static race detector: writes to
+            # these names are reduce-protected (private accumulator +
+            # task-end combine), not data races.
+            outlined.reduce_vars = frozenset(
+                name for _op, name in stmt.reduce_intents
+            )
         self.module.add_function(outlined)
 
         ofl = FunctionLowerer(self.L, outlined, Scope())

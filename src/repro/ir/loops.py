@@ -1,0 +1,111 @@
+"""Natural-loop discovery over the CFG/dominator substrate.
+
+The optimization-advisor passes reason about *where* an instruction
+executes: a slice rebuilt inside a loop is a per-iteration cost (the
+MiniMD domain-remap finding), the same slice at module init is free.
+This module finds natural loops the classic way — back edges ``a → h``
+where ``h`` dominates ``a`` — and derives a per-block nesting depth.
+
+Note the lowering shape: ``forall``/``coforall`` bodies are outlined
+into their own functions, whose body is a serial chunk loop.  Code
+"inside a forall" therefore shows up at loop depth ≥ 1 *of the outlined
+function*; callers combine :func:`loop_depths` with the call graph
+(:func:`loop_resident_functions`) to see through calls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .cfg import CFG
+from .dominators import DominatorTree, dominator_tree
+from .instructions import Call, SpawnJoin
+from .module import BasicBlock, Function, Module
+
+
+@dataclass
+class Loop:
+    """One natural loop: ``header`` plus every block in its body."""
+
+    header: BasicBlock
+    blocks: set[BasicBlock] = field(default_factory=set)
+
+    def __contains__(self, block: BasicBlock) -> bool:
+        return block in self.blocks
+
+
+def natural_loops(cfg: CFG, domtree: DominatorTree | None = None) -> list[Loop]:
+    """All natural loops of ``cfg``; loops sharing a header are merged
+    (the standard treatment of multiple back edges)."""
+    dt = domtree or dominator_tree(cfg)
+    reachable = cfg.reachable()
+    by_header: dict[BasicBlock, Loop] = {}
+    for a in cfg.blocks:
+        if a not in reachable:
+            continue
+        for h in cfg.succs[a]:
+            if not dt.dominates(h, a):
+                continue
+            loop = by_header.setdefault(h, Loop(header=h, blocks={h}))
+            # Walk predecessors backwards from the latch until the
+            # header fences the search off.
+            stack = [a]
+            while stack:
+                b = stack.pop()
+                if b in loop.blocks:
+                    continue
+                loop.blocks.add(b)
+                stack.extend(p for p in cfg.preds.get(b, []) if p in reachable)
+    return list(by_header.values())
+
+
+def loop_depths(cfg: CFG, domtree: DominatorTree | None = None) -> dict[BasicBlock, int]:
+    """Block → number of natural loops containing it (0 = straight-line)."""
+    depths: dict[BasicBlock, int] = {b: 0 for b in cfg.blocks}
+    for loop in natural_loops(cfg, domtree):
+        for b in loop.blocks:
+            depths[b] += 1
+    return depths
+
+
+def loop_resident_functions(
+    module: Module, depths_of: dict[str, dict[BasicBlock, int]]
+) -> set[str]:
+    """Function names that can execute inside some loop.
+
+    A function is loop-resident when a callsite (``call`` or
+    ``spawnjoin``) targeting it sits in a loop block, when its caller is
+    itself loop-resident, or when it is an outlined parallel-loop body
+    (its serial chunk loop runs per task, and the spawn repeats per
+    visit).  This is the advisor's "charged per iteration" predicate —
+    LULESH's ``CalcVolumeForceForElems`` allocates at loop depth 0 but
+    is loop-resident via ``main``'s timestep loop.
+    """
+    callees: dict[str, set[str]] = {name: set() for name in module.functions}
+    resident: set[str] = set()
+    for fname, f in module.functions.items():
+        depths = depths_of.get(fname, {})
+        for block in f.blocks:
+            in_loop = depths.get(block, 0) > 0
+            for instr in block.instructions:
+                target = None
+                if isinstance(instr, Call) and not instr.is_builtin:
+                    target = instr.callee
+                elif isinstance(instr, SpawnJoin):
+                    target = instr.outlined
+                if target is None or target not in callees:
+                    continue
+                callees[fname].add(target)
+                if in_loop:
+                    resident.add(target)
+        if f.outlined_from is not None:
+            resident.add(fname)
+    # Propagate: everything a loop-resident function calls is resident.
+    work = list(resident)
+    while work:
+        fname = work.pop()
+        for callee in callees.get(fname, ()):
+            if callee not in resident:
+                resident.add(callee)
+                work.append(callee)
+    return resident

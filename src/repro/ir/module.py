@@ -121,6 +121,11 @@ class Function:
         self.outlined_from = outlined_from
         #: Artificial functions carry no user code (e.g. global init).
         self.is_artificial = is_artificial
+        #: For outlined parallel-loop bodies: names of variables named in
+        #: a ``with (op reduce x)`` intent clause.  Task bodies write a
+        #: private accumulator; only the task-end combine touches the
+        #: shared storage — the race detector must not flag it.
+        self.reduce_vars: frozenset[str] = frozenset()
         self.blocks: list[BasicBlock] = []
 
     @property

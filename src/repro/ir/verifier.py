@@ -86,6 +86,74 @@ def verify_function(f: Function, module: Module | None = None) -> None:
                 )
 
 
+def verify_debug_info(f: Function) -> None:
+    """Debug-location invariants the static-analysis passes rely on.
+
+    Every finding is anchored to a (file, line) resolved from IR debug
+    info, so every lowered instruction must carry a usable location —
+    the property the paper's authors had to add to Chapel's LLVM
+    frontend (§IV.A), and the one the advisor cannot work without.
+    """
+    for block in f.blocks:
+        for instr in block.instructions:
+            loc = instr.loc
+            if loc is None:
+                raise VerificationError(
+                    f"{f.name}: instruction [{instr.iid}] {instr.opname} "
+                    f"has no debug location"
+                )
+            if not loc.filename or loc.line < 1:
+                raise VerificationError(
+                    f"{f.name}: instruction [{instr.iid}] {instr.opname} "
+                    f"has a degenerate debug location {loc!s}"
+                )
+            if isinstance(instr, Alloca) and not instr.var_name:
+                raise VerificationError(
+                    f"{f.name}: alloca [{instr.iid}] binds no variable name"
+                )
+
+
+def verify_alloca_bindings(f: Function) -> None:
+    """Alloca → source-variable bindings must be unambiguous.
+
+    A source name may be declared in several sibling scopes (two loops
+    each using ``k``), and ``param``-loop unrolling clones one
+    declaration many times — but every alloca sharing a (name,
+    location) pair must bind the *same* variable, so clones must agree
+    on the stored type, and each formal has exactly one home cell.
+    Anything else would make the advisor's variable anchoring (and the
+    data-flow var_meta map) ambiguous.  Compiler temporaries are
+    exempt: they are hidden from reports.
+    """
+    decl_type: dict[tuple[str, str], "object"] = {}
+    formal_home_of: dict[str, Alloca] = {}
+    for block in f.blocks:
+        for instr in block.instructions:
+            if not isinstance(instr, Alloca):
+                continue
+            if instr.formal_home is not None:
+                prev_home = formal_home_of.get(instr.formal_home)
+                if prev_home is not None and prev_home is not instr:
+                    raise VerificationError(
+                        f"{f.name}: formal {instr.formal_home!r} has two "
+                        f"home allocas ([{prev_home.iid}] and "
+                        f"[{instr.iid}])"
+                    )
+                formal_home_of[instr.formal_home] = instr
+            if instr.is_temp:
+                continue
+            key = (instr.var_name, str(instr.loc))
+            prev = decl_type.get(key)
+            if prev is None:
+                decl_type[key] = instr.alloc_type
+            elif prev != instr.alloc_type:
+                raise VerificationError(
+                    f"{f.name}: variable {instr.var_name!r} at "
+                    f"{instr.loc} bound with conflicting types "
+                    f"({prev} vs {instr.alloc_type})"
+                )
+
+
 def verify_module(module: Module) -> None:
     """Verifies every function plus inter-function references."""
     for f in module.functions.values():
@@ -104,3 +172,15 @@ def verify_module(module: Module) -> None:
                     f"{f.name}: spawn of unknown outlined function "
                     f"{instr.outlined!r}"
                 )
+
+
+def verify_for_analysis(module: Module) -> None:
+    """Full structural check plus the analysis-layer invariants.
+
+    Run at advisor entry: the diagnostics engine refuses to produce
+    findings over IR whose debug info it cannot trust.
+    """
+    verify_module(module)
+    for f in module.functions.values():
+        verify_debug_info(f)
+        verify_alloca_bindings(f)

@@ -5,8 +5,14 @@ Usage::
     python -m repro.tooling.cli program.chpl [--threads N] [--threshold P]
         [--fast] [--view data|code|hybrid|all] [--config name=value ...]
 
+    python -m repro.tooling.cli advise program.chpl [--profile] [--json]
+    python -m repro.tooling.cli advise --benchmark minimd:original
+
 Prints the requested view(s) of the blame profile — the textual
-equivalent of the paper's GUI (Fig. 3).
+equivalent of the paper's GUI (Fig. 3).  The ``advise`` subcommand runs
+the static analysis suite (optimization advisor + forall race detector)
+and exits nonzero when any error-severity finding is reported, so it
+can gate CI.
 """
 
 from __future__ import annotations
@@ -39,6 +45,10 @@ def _parse_config(pairs: list[str]) -> dict[str, object]:
 
 
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "advise":
+        return advise_main(argv[1:])
     ap = argparse.ArgumentParser(
         prog="repro-profile",
         description="Data-centric (variable blame) profiler for mini-Chapel",
@@ -131,6 +141,152 @@ def main(argv: list[str] | None = None) -> int:
         f"({result.postmortem.n_user} user)]"
     )
     return 0
+
+
+def _benchmark_source(spec: str) -> tuple[str, str]:
+    """Resolves ``name[:variant]`` to (source text, display filename).
+
+    Variants: ``original`` (default) and ``optimized`` for every
+    benchmark; LULESH additionally accepts ``cenn`` and ``vg`` for the
+    single-optimization variants.
+    """
+    name, _, variant = spec.partition(":")
+    variant = variant or "original"
+    if name in ("minimd", "clomp"):
+        if variant not in ("original", "optimized"):
+            raise SystemExit(
+                f"unknown {name} variant {variant!r} (want original|optimized)"
+            )
+        if name == "minimd":
+            from ..bench.programs import minimd as prog
+        else:
+            from ..bench.programs import clomp as prog
+        return (
+            prog.build_source(optimized=(variant == "optimized")),
+            f"{name}.chpl",
+        )
+    if name == "lulesh":
+        from ..bench.programs import lulesh
+
+        variants = {
+            "original": lulesh.ORIGINAL,
+            "optimized": lulesh.BEST_CASE,
+            "cenn": lulesh.CENN_ONLY,
+            "vg": lulesh.VG_ONLY,
+        }
+        if variant not in variants:
+            raise SystemExit(
+                f"unknown lulesh variant {variant!r} "
+                f"(want {'|'.join(variants)})"
+            )
+        return lulesh.build_source(variants[variant]), "lulesh.chpl"
+    raise SystemExit(
+        f"unknown benchmark {name!r} (want minimd|clomp|lulesh)"
+    )
+
+
+def advise_main(argv: list[str] | None = None) -> int:
+    """``advise`` subcommand: static analysis, optionally blame-ranked.
+
+    Exit status: 0 when no error-severity findings, 1 when the race
+    detector (or any error-level rule) fires — the CI-gate contract —
+    and 2 when the module fails IR verification.
+    """
+    from ..analysis import (
+        Severity,
+        analyze_module,
+        findings_to_json,
+        rank_findings,
+        render_findings,
+    )
+    from ..ir.verifier import VerificationError
+
+    ap = argparse.ArgumentParser(
+        prog="repro-advise",
+        description="Blame-guided static optimization advisor + race detector",
+    )
+    ap.add_argument(
+        "source", nargs="?", help="mini-Chapel source file to analyze"
+    )
+    ap.add_argument(
+        "--benchmark",
+        metavar="NAME[:VARIANT]",
+        help="analyze a built-in benchmark (minimd|clomp|lulesh, variants "
+        "original|optimized; lulesh also cenn|vg) instead of a file",
+    )
+    ap.add_argument(
+        "--profile",
+        action="store_true",
+        help="also run the profiler and rank findings by measured blame",
+    )
+    ap.add_argument(
+        "--json", action="store_true", help="emit findings as JSON"
+    )
+    ap.add_argument(
+        "--rules",
+        nargs="*",
+        default=None,
+        metavar="RULE",
+        help="run only these rules (default: all registered passes)",
+    )
+    ap.add_argument(
+        "--min-severity",
+        default="info",
+        choices=["info", "warning", "error"],
+        help="hide findings below this severity (exit status still "
+        "reflects all findings)",
+    )
+    ap.add_argument("--threads", type=int, default=12, help="worker threads for --profile")
+    ap.add_argument("--threshold", type=int, default=20011, help="PMU overflow threshold for --profile")
+    ap.add_argument(
+        "--config", nargs="*", default=[], help="config overrides: name=value"
+    )
+    args = ap.parse_args(argv)
+
+    if (args.source is None) == (args.benchmark is None):
+        ap.error("give exactly one of SOURCE or --benchmark")
+    if args.benchmark:
+        source, filename = _benchmark_source(args.benchmark)
+    else:
+        with open(args.source) as f:
+            source = f.read()
+        filename = args.source
+
+    report = None
+    try:
+        if args.profile:
+            profiler = Profiler(
+                source,
+                filename=filename,
+                config=_parse_config(args.config),
+                num_threads=args.threads,
+                threshold=args.threshold,
+            )
+            result = profiler.profile()
+            module = result.module
+            report = result.report
+        else:
+            from ..compiler.lower import compile_source
+
+            module = compile_source(source, filename)
+        findings = analyze_module(module, passes=args.rules)
+    except VerificationError as exc:
+        print(f"IR verification failed: {exc}", file=sys.stderr)
+        return 2
+    if report is not None:
+        findings = rank_findings(findings, report)
+
+    floor = Severity.parse(args.min_severity)
+    shown = [f for f in findings if f.severity >= floor]
+    if args.json:
+        print(findings_to_json(shown))
+    else:
+        if report is not None:
+            print(render_hybrid(report, findings=shown))
+            print()
+        print(render_findings(shown, title=f"Advisor report: {filename}"))
+    has_errors = any(f.severity >= Severity.ERROR for f in findings)
+    return 1 if has_errors else 0
 
 
 if __name__ == "__main__":

@@ -14,9 +14,13 @@ structure, data-centric in content.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from ..blame.report import BlameReport, BlameRow
 from .tables import pct, render_table
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from ..analysis.diagnostics import Finding
 
 
 @dataclass
@@ -44,9 +48,19 @@ def build_blame_points(report: BlameReport, min_blame: float = 0.0) -> list[Blam
 
 
 def render_hybrid(
-    report: BlameReport, min_blame: float = 0.005, per_point: int = 8
+    report: BlameReport,
+    min_blame: float = 0.005,
+    per_point: int = 8,
+    findings: "list[Finding] | None" = None,
 ) -> str:
+    """Renders the blame points; when advisor ``findings`` are given,
+    each blame point also lists the static recommendations anchored in
+    that context (rule id, location, first line of the message) — the
+    "what to do about it" column next to "where the samples went"."""
     points = build_blame_points(report, min_blame=min_blame)
+    by_context: dict[str, list["Finding"]] = {}
+    for f in findings or []:
+        by_context.setdefault(f.function, []).append(f)
     sections: list[str] = [f"Hybrid view (blame points): {report.program}"]
     for point in points:
         rows = [
@@ -60,5 +74,16 @@ def render_hybrid(
                 title=f"\n== blame point: {point.context} ==",
                 aligns=["l", "l", "r"],
             )
+        )
+        for f in by_context.pop(point.context, []):
+            sections.append(
+                f"  advice [{f.rule}] {f.where}: {f.message}"
+            )
+    leftovers = [f for fs in by_context.values() for f in fs]
+    if leftovers:
+        sections.append("\n== advice outside blame points ==")
+        sections.extend(
+            f"  advice [{f.rule}] {f.where} ({f.function}): {f.message}"
+            for f in leftovers
         )
     return "\n".join(sections)

@@ -1,0 +1,271 @@
+"""Advisor-pass tests: each rule fires on the paper's original
+benchmark code and disappears (or downgrades) on the optimized variant,
+plus targeted micro-sources per rule."""
+
+import pytest
+
+from repro.analysis import Severity, analyze_module
+from repro.bench.programs import clomp, lulesh, minimd
+from repro.compiler.lower import compile_source
+
+
+def findings_for(source, filename="test.chpl", rules=None):
+    module = compile_source(source, filename)
+    return analyze_module(module, passes=rules)
+
+
+def rules_of(findings):
+    return {f.rule for f in findings}
+
+
+@pytest.fixture(scope="module")
+def minimd_orig():
+    return findings_for(minimd.build_source(optimized=False), "minimd.chpl")
+
+
+@pytest.fixture(scope="module")
+def minimd_opt():
+    return findings_for(minimd.build_source(optimized=True), "minimd.chpl")
+
+
+@pytest.fixture(scope="module")
+def clomp_orig():
+    return findings_for(clomp.build_source(optimized=False), "clomp.chpl")
+
+
+@pytest.fixture(scope="module")
+def clomp_opt():
+    return findings_for(clomp.build_source(optimized=True), "clomp.chpl")
+
+
+@pytest.fixture(scope="module")
+def lulesh_orig():
+    return findings_for(lulesh.build_source(lulesh.ORIGINAL), "lulesh.chpl")
+
+
+@pytest.fixture(scope="module")
+def lulesh_best():
+    return findings_for(lulesh.build_source(lulesh.BEST_CASE), "lulesh.chpl")
+
+
+class TestPaperOptimizationsDetected:
+    """The paper's hand optimizations, found statically (acceptance)."""
+
+    def test_minimd_zippered_iteration_found(self, minimd_orig):
+        zipped = [f for f in minimd_orig if f.rule == "zippered-iteration"]
+        assert zipped, "MiniMD original must report zippered iteration"
+        # the paper's fix touched computeForce and buildNeighbors
+        assert {"computeForce", "buildNeighbors"} <= {f.function for f in zipped}
+
+    def test_minimd_domain_remap_found(self, minimd_orig):
+        assert "loop-domain-remap" in rules_of(minimd_orig)
+
+    def test_minimd_optimized_is_clean(self, minimd_opt):
+        assert minimd_opt == []
+
+    def test_clomp_flattening_found(self, clomp_orig):
+        flat = [f for f in clomp_orig if f.rule == "record-flattening"]
+        assert flat, "CLOMP original must report the zoneArray indirection"
+        assert any("zoneArray" in f.variables for f in flat)
+        assert any(f.function == "update_part" for f in flat)
+
+    def test_clomp_flattening_gone_when_optimized(self, clomp_opt):
+        assert "record-flattening" not in rules_of(clomp_opt)
+
+    def test_lulesh_tuple_temporaries_found(self, lulesh_orig):
+        tup = [f for f in lulesh_orig if f.rule == "tuple-temporaries"]
+        assert [f.function for f in tup] == ["CalcElemNodeNormals"]
+
+    def test_lulesh_vg_targets_found(self, lulesh_orig):
+        hoist = [f for f in lulesh_orig if f.rule == "hoistable-allocation"]
+        names = {v for f in hoist for v in f.variables}
+        # The arrays the paper moved to module scope (Variable
+        # Globalization): dvdx/dvdy/dvdz and determ.
+        assert {"dvdx", "dvdy", "dvdz", "determ"} <= names
+
+    def test_lulesh_best_case_has_no_warnings(self, lulesh_best):
+        assert all(f.severity < Severity.WARNING for f in lulesh_best)
+
+    def test_lulesh_cenn_only_removes_tuple_finding(self):
+        fs = findings_for(lulesh.build_source(lulesh.CENN_ONLY), "lulesh.chpl")
+        assert "tuple-temporaries" not in rules_of(fs)
+        assert "hoistable-allocation" in rules_of(fs)
+
+    def test_lulesh_vg_only_removes_hoist_finding(self):
+        fs = findings_for(lulesh.build_source(lulesh.VG_ONLY), "lulesh.chpl")
+        assert "hoistable-allocation" not in rules_of(fs)
+        assert "tuple-temporaries" in rules_of(fs)
+
+
+class TestZipperedRule:
+    def test_fires_in_loop(self):
+        src = """
+var A: [0..9] real;
+var B: [0..9] real;
+proc main() {
+  for step in 1..50 {
+    for (a, b) in zip(A, B) {
+      b = a + 1.0;
+    }
+  }
+}
+"""
+        fs = findings_for(src, rules=["zippered-iteration"])
+        assert len(fs) == 1
+        assert fs[0].severity is Severity.WARNING
+        assert set(fs[0].variables) == {"A", "B"}
+
+    def test_cold_zip_is_info(self):
+        src = """
+var A: [0..9] real;
+var B: [0..9] real;
+proc main() {
+  for (a, b) in zip(A, B) {
+    b = a + 1.0;
+  }
+}
+"""
+        fs = findings_for(src, rules=["zippered-iteration"])
+        assert len(fs) == 1
+        assert fs[0].severity is Severity.INFO
+
+
+class TestDomainRemapRule:
+    def test_slice_in_loop(self):
+        src = """
+var A: [0..99] real;
+proc main() {
+  for i in 1..10 {
+    var V = A[0..50];
+    V[i] = 1.0;
+  }
+}
+"""
+        fs = findings_for(src, rules=["loop-domain-remap"])
+        assert fs and fs[0].rule == "loop-domain-remap"
+        assert "A" in fs[0].variables
+
+    def test_hoisted_slice_not_flagged(self):
+        src = """
+var A: [0..99] real;
+proc main() {
+  var V = A[0..50];
+  for i in 1..10 {
+    V[i] = 1.0;
+  }
+}
+"""
+        assert findings_for(src, rules=["loop-domain-remap"]) == []
+
+
+class TestTupleTemporariesRule:
+    def test_below_threshold_quiet(self):
+        src = """
+proc main() {
+  var s = 0.0;
+  for i in 1..100 {
+    var t = (1.0, 2.0, 3.0);
+    s = s + t[0];
+  }
+  writeln(s);
+}
+"""
+        assert findings_for(src, rules=["tuple-temporaries"]) == []
+
+
+class TestHoistableAllocationRule:
+    def test_alloc_in_loop(self):
+        src = """
+proc main() {
+  for i in 1..10 {
+    var scratch: [0..63] real;
+    scratch[0] = i * 1.0;
+  }
+}
+"""
+        fs = findings_for(src, rules=["hoistable-allocation"])
+        assert fs and "scratch" in fs[0].variables
+
+    def test_per_call_alloc_in_loop_resident_function(self):
+        src = """
+const D = {0..63};
+proc work() {
+  var scratch: [D] real;
+  scratch[0] = 1.0;
+}
+proc main() {
+  for i in 1..10 {
+    work();
+  }
+}
+"""
+        fs = findings_for(src, rules=["hoistable-allocation"])
+        assert fs and fs[0].function == "work"
+
+    def test_alloc_in_main_entry_not_flagged(self):
+        src = """
+proc main() {
+  var data: [0..63] real;
+  data[0] = 1.0;
+}
+"""
+        assert findings_for(src, rules=["hoistable-allocation"]) == []
+
+
+class TestParamUnrollRule:
+    def test_small_literal_loop(self):
+        src = """
+proc main() {
+  var s = 0;
+  for i in 0..5 {
+    s = s + i;
+  }
+  writeln(s);
+}
+"""
+        fs = findings_for(src, rules=["param-unroll"])
+        assert len(fs) == 1
+        assert fs[0].severity is Severity.INFO
+        assert fs[0].variables == ("i",)
+
+    def test_large_trip_not_flagged(self):
+        src = """
+proc main() {
+  var s = 0;
+  for i in 0..100 {
+    s = s + i;
+  }
+  writeln(s);
+}
+"""
+        assert findings_for(src, rules=["param-unroll"]) == []
+
+    def test_param_loop_produces_no_counter(self):
+        src = """
+proc main() {
+  var s = 0;
+  for param i in 0..5 {
+    s = s + i;
+  }
+  writeln(s);
+}
+"""
+        assert findings_for(src, rules=["param-unroll"]) == []
+
+
+class TestPassSelection:
+    def test_unknown_rule_raises(self):
+        src = "proc main() { writeln(1); }"
+        module = compile_source(src, "t.chpl")
+        with pytest.raises(KeyError):
+            analyze_module(module, passes=["no-such-rule"])
+
+    def test_rule_subset_only_runs_selected(self, minimd_orig):
+        module = compile_source(
+            minimd.build_source(optimized=False), "minimd.chpl"
+        )
+        only = analyze_module(module, passes=["zippered-iteration"])
+        assert rules_of(only) == {"zippered-iteration"}
+        assert len(only) == len(
+            [f for f in minimd_orig if f.rule == "zippered-iteration"]
+        )

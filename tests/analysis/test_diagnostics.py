@@ -1,0 +1,138 @@
+"""Diagnostics engine unit tests: severities, findings, rendering,
+JSON contract, and registry/catalog consistency."""
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    PASS_REGISTRY,
+    Finding,
+    Severity,
+    default_passes,
+    findings_to_json,
+    max_severity,
+    render_findings,
+)
+from repro.analysis.diagnostics import (
+    RULE_CATALOG,
+    finding_to_dict,
+    render_finding,
+    sort_key,
+)
+
+
+def mk(rule="zippered-iteration", severity=Severity.WARNING, line=10, **kw):
+    defaults = dict(
+        message="msg",
+        file="t.chpl",
+        function="main",
+        variables=("x",),
+        remediation="fix it",
+        iids=(1, 2),
+    )
+    defaults.update(kw)
+    return Finding(rule=rule, severity=severity, line=line, **defaults)
+
+
+class TestSeverity:
+    def test_ordering(self):
+        assert Severity.ERROR > Severity.WARNING > Severity.INFO
+
+    def test_labels(self):
+        assert Severity.ERROR.label == "error"
+        assert Severity.parse("warning") is Severity.WARNING
+        assert Severity.parse(" INFO ") is Severity.INFO
+
+    def test_parse_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            Severity.parse("fatal")
+
+
+class TestFinding:
+    def test_where_and_blame(self):
+        f = mk(line=42)
+        assert f.where == "t.chpl:42"
+        assert f.blame is None
+        assert f.blame_percent is None
+        g = f.with_blame(0.25)
+        assert g.blame_percent == 25.0
+        assert f.blame is None  # frozen: original untouched
+
+    def test_sort_severity_then_blame_then_position(self):
+        a = mk(severity=Severity.INFO, line=1)
+        b = mk(severity=Severity.ERROR, line=99)
+        c = mk(severity=Severity.WARNING, line=5).with_blame(0.9)
+        d = mk(severity=Severity.WARNING, line=2).with_blame(0.1)
+        ordered = sorted([a, d, c, b], key=sort_key)
+        assert ordered == [b, c, d, a]
+
+    def test_max_severity(self):
+        assert max_severity([]) is None
+        assert (
+            max_severity([mk(severity=Severity.INFO), mk(severity=Severity.ERROR)])
+            is Severity.ERROR
+        )
+
+
+class TestRendering:
+    def test_empty(self):
+        assert "no findings" in render_findings([])
+
+    def test_footer_counts(self):
+        out = render_findings(
+            [
+                mk(severity=Severity.ERROR),
+                mk(severity=Severity.WARNING),
+                mk(severity=Severity.WARNING, line=11),
+                mk(severity=Severity.INFO),
+            ]
+        )
+        assert "-- 4 finding(s): 1 error, 2 warning, 1 info" in out
+
+    def test_single_finding_fields(self):
+        text = render_finding(mk().with_blame(0.5))
+        assert "[zippered-iteration]" in text
+        assert "t.chpl:10" in text
+        assert "(main)" in text
+        assert "[blame 50.0%]" in text
+        assert "variables: x" in text
+        assert "hint: fix it" in text
+
+    def test_title(self):
+        assert render_findings([], title="Advisor").startswith("Advisor")
+
+
+class TestJson:
+    def test_roundtrip_fields(self):
+        f = mk().with_blame(0.125)
+        payload = json.loads(findings_to_json([f]))
+        assert payload == [finding_to_dict(f)]
+        (d,) = payload
+        assert d["severity"] == "warning"
+        assert d["rule"] == "zippered-iteration"
+        assert d["variables"] == ["x"]
+        assert d["iids"] == [1, 2]
+        assert d["blame"] == 0.125
+
+    def test_sorted_output(self):
+        payload = json.loads(
+            findings_to_json(
+                [mk(severity=Severity.INFO), mk(severity=Severity.ERROR)]
+            )
+        )
+        assert [d["severity"] for d in payload] == ["error", "info"]
+
+
+class TestRegistry:
+    def test_every_pass_has_a_catalog_entry(self):
+        for p in default_passes():
+            assert p.name in RULE_CATALOG, p.name
+
+    def test_catalog_rules_all_registered(self):
+        names = {p.name for p in default_passes()}
+        assert set(RULE_CATALOG) == names
+
+    def test_registry_is_keyed_by_name(self):
+        for name, cls in PASS_REGISTRY.items():
+            assert cls.name == name

@@ -1,0 +1,207 @@
+"""Static race detector tests: seeded races are flagged, reduce
+intents and index-disjoint addressing are respected, and the shipped
+benchmarks are race-free in every variant."""
+
+import pytest
+
+from repro.analysis import Severity, analyze_module
+from repro.bench.programs import clomp, lulesh, minimd
+from repro.compiler.lower import compile_source
+
+
+def races_in(source, filename="test.chpl"):
+    module = compile_source(source, filename)
+    return [
+        f
+        for f in analyze_module(module, passes=["forall-race"])
+        if f.rule == "forall-race"
+    ]
+
+
+class TestSeededRaces:
+    def test_global_scalar_race(self):
+        src = """
+var total: int;
+proc main() {
+  forall i in 1..100 {
+    total = total + i;
+  }
+  writeln(total);
+}
+"""
+        (f,) = races_in(src)
+        assert f.severity is Severity.ERROR
+        assert f.variables == ("total",)
+        assert "reduce" in f.remediation
+
+    def test_ref_captured_local_race(self):
+        src = """
+proc main() {
+  var acc = 0;
+  forall i in 1..100 {
+    acc = acc + i;
+  }
+  writeln(acc);
+}
+"""
+        (f,) = races_in(src)
+        assert f.variables == ("acc",)
+
+    def test_non_disjoint_element_race(self):
+        src = """
+var A: [0..9] int;
+proc main() {
+  forall i in 1..100 {
+    A[0] = i;
+  }
+  writeln(A[0]);
+}
+"""
+        (f,) = races_in(src)
+        assert f.variables == ("A",)
+
+    def test_race_through_callee_global_write(self):
+        src = """
+var counter: int;
+proc bump() {
+  counter = counter + 1;
+}
+proc main() {
+  forall i in 1..100 {
+    bump();
+  }
+  writeln(counter);
+}
+"""
+        (f,) = races_in(src)
+        assert f.variables == ("counter",)
+
+    def test_coforall_race(self):
+        src = """
+var flag: int;
+proc main() {
+  coforall t in 1..4 {
+    flag = t;
+  }
+  writeln(flag);
+}
+"""
+        (f,) = races_in(src)
+        assert "coforall" in f.message
+
+
+class TestSafePatterns:
+    def test_index_disjoint_write(self):
+        src = """
+var A: [1..100] int;
+proc main() {
+  forall i in 1..100 {
+    A[i] = i;
+  }
+  writeln(A[1]);
+}
+"""
+        assert races_in(src) == []
+
+    def test_reduce_intent_protects(self):
+        src = """
+var total: int;
+proc main() {
+  forall i in 1..100 with (+ reduce total) {
+    total = total + i;
+  }
+  writeln(total);
+}
+"""
+        assert races_in(src) == []
+
+    def test_task_private_locals_are_fine(self):
+        src = """
+var A: [1..100] int;
+proc main() {
+  forall i in 1..100 {
+    var tmp = i * 2;
+    A[i] = tmp;
+  }
+  writeln(A[1]);
+}
+"""
+        assert races_in(src) == []
+
+    def test_derived_index_write_is_disjoint(self):
+        src = """
+var A: [2..101] int;
+proc main() {
+  forall i in 1..100 {
+    A[i + 1] = i;
+  }
+  writeln(A[2]);
+}
+"""
+        assert races_in(src) == []
+
+    def test_callee_writing_formal_at_index_is_disjoint(self):
+        src = """
+var A: [1..100] int;
+proc put(ref buf: [?] int, at: int) {
+  buf[at] = at;
+}
+proc main() {
+  forall i in 1..100 {
+    put(A, i);
+  }
+  writeln(A[1]);
+}
+"""
+        assert races_in(src) == []
+
+    def test_callee_global_write_at_bound_index_is_disjoint(self):
+        src = """
+var A: [1..100] int;
+proc put(at: int) {
+  A[at] = at;
+}
+proc main() {
+  forall i in 1..100 {
+    put(i);
+  }
+  writeln(A[1]);
+}
+"""
+        assert races_in(src) == []
+
+    def test_reads_never_race(self):
+        src = """
+var A: [1..100] int;
+var B: [1..100] int;
+proc main() {
+  forall i in 1..100 {
+    B[i] = A[1] + A[2];
+  }
+  writeln(B[1]);
+}
+"""
+        assert races_in(src) == []
+
+
+class TestBenchmarksAreClean:
+    """Acceptance: zero races on every shipped benchmark variant."""
+
+    @pytest.mark.parametrize("optimized", [False, True])
+    def test_minimd(self, optimized):
+        src = minimd.build_source(optimized=optimized)
+        assert races_in(src, "minimd.chpl") == []
+
+    @pytest.mark.parametrize("optimized", [False, True])
+    def test_clomp(self, optimized):
+        src = clomp.build_source(optimized=optimized)
+        assert races_in(src, "clomp.chpl") == []
+
+    @pytest.mark.parametrize(
+        "variant",
+        [lulesh.ORIGINAL, lulesh.BEST_CASE, lulesh.CENN_ONLY, lulesh.VG_ONLY],
+        ids=["original", "best", "cenn", "vg"],
+    )
+    def test_lulesh(self, variant):
+        src = lulesh.build_source(variant)
+        assert races_in(src, "lulesh.chpl") == []

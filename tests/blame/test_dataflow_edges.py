@@ -1,0 +1,98 @@
+"""Data-flow edge-path tests: behavior with ``alias_tracking`` off and
+path truncation at ``MAX_PATH_DEPTH``."""
+
+from repro.blame.dataflow import MAX_PATH_DEPTH, DataFlow, VarKey
+from repro.blame.options import ABLATIONS, FULL
+
+import sys, os
+sys.path.insert(0, os.path.dirname(os.path.dirname(__file__)))
+from conftest import compile_src
+
+
+def df_of(src, fn="main", options=None):
+    m = compile_src(src)
+    return m, DataFlow(m.functions[fn], m, options=options)
+
+
+SLICE_SRC = """
+var A: [0..99] real;
+proc main() {
+  var V = A[0..50];
+  V[1] = 2.0;
+}
+"""
+
+
+class TestAliasTrackingOff:
+    def test_full_options_follow_the_view_to_its_base(self):
+        m, df = df_of(SLICE_SRC, options=FULL)
+        assert VarKey("global", "A") in df.writes
+
+    def test_disabled_stops_at_the_view(self):
+        from repro.ir import instructions as I
+
+        m, df = df_of(SLICE_SRC, options=ABLATIONS["no-alias-tracking"])
+        # The write is still seen on the local view variable...
+        local_keys = [k for k in df.writes if k.kind == "local"]
+        assert local_keys, "write through the view must root at V"
+        # ...but the element *store* never propagates to the sliced
+        # base array — A keeps only the slice's descriptor write.
+        a_writes = df.writes.get(VarKey("global", "A"), set())
+        assert not any(isinstance(w, I.Store) for w in a_writes)
+        assert (VarKey("global", "A"), (("index",),)) not in df.path_writes
+
+    def test_disabled_blocks_stored_root_propagation(self):
+        m, df = df_of(SLICE_SRC, options=ABLATIONS["no-alias-tracking"])
+        assert df.stored_roots == {}
+
+    def test_option_object_flag_survives(self):
+        m, df = df_of(SLICE_SRC, options=ABLATIONS["no-alias-tracking"])
+        assert df.options.alias_tracking is False
+
+
+DEEP_SRC = """
+record L0 { var x: real; }
+record L1 { var a: L0; }
+record L2 { var b: L1; }
+record L3 { var c: L2; }
+record L4 { var d: L3; }
+var r: L4;
+proc main() {
+  r.d.c.b.a.x = 1.0;
+}
+"""
+
+
+class TestMaxPathDepthTruncation:
+    def test_no_path_exceeds_the_bound(self):
+        m, df = df_of(DEEP_SRC)
+        for key, path in df.path_writes:
+            assert len(path) <= MAX_PATH_DEPTH
+
+    def test_deep_write_lands_on_truncated_prefix(self):
+        m, df = df_of(DEEP_SRC)
+        key = VarKey("global", "r")
+        assert key in df.writes
+        truncated = (
+            ("field", "d"),
+            ("field", "c"),
+            ("field", "b"),
+            ("field", "a"),
+        )
+        assert (key, truncated) in df.path_writes
+        # The fifth element (.x) fell off the end of the bounded path.
+        assert not any(
+            len(path) > len(truncated) for k, path in df.path_writes if k == key
+        )
+
+    def test_shallow_paths_unaffected(self):
+        src = """
+record P { var x: real; }
+var p: P;
+proc main() {
+  p.x = 1.0;
+}
+"""
+        m, df = df_of(src)
+        key = VarKey("global", "p")
+        assert (key, (("field", "x"),)) in df.path_writes

@@ -136,3 +136,101 @@ class TestVerifyModule:
         b.ret(LOC)
         with pytest.raises(VerificationError, match="unknown outlined"):
             verify_module(m)
+
+
+class TestAnalysisInvariants:
+    """Debug-info and alloca-binding invariants used by the advisor."""
+
+    def _module_with(self, fn):
+        m = Module()
+        m.add_function(fn)
+        return m
+
+    def test_verify_for_analysis_accepts_lowered_code(self):
+        from repro.compiler.lower import compile_source
+        from repro.ir.verifier import verify_for_analysis
+
+        m = compile_source(
+            "proc main() { var s = 0; for i in 0..3 { s = s + i; } writeln(s); }",
+            "t.chpl",
+        )
+        verify_for_analysis(m)
+
+    def test_missing_location_rejected(self):
+        from repro.ir.verifier import verify_debug_info
+
+        fn = Function("f", [], VOID, LOC)
+        b = IRBuilder(fn)
+        b.set_block(b.new_block("entry"))
+        b.ret(LOC)
+        fn.blocks[0].instructions[0].loc = None
+        with pytest.raises(VerificationError, match="no debug location"):
+            verify_debug_info(fn)
+
+    def test_degenerate_location_rejected(self):
+        from repro.ir.verifier import verify_debug_info
+
+        fn = Function("f", [], VOID, LOC)
+        b = IRBuilder(fn)
+        b.set_block(b.new_block("entry"))
+        b.ret(SourceLocation("", 0, 0))
+        with pytest.raises(VerificationError, match="degenerate"):
+            verify_debug_info(fn)
+
+    def test_anonymous_alloca_rejected(self):
+        from repro.ir.verifier import verify_debug_info
+
+        fn = Function("f", [], VOID, LOC)
+        b = IRBuilder(fn)
+        b.set_block(b.new_block("entry"))
+        b.alloca(LOC, INT, "")
+        b.ret(LOC)
+        with pytest.raises(VerificationError, match="binds no variable"):
+            verify_debug_info(fn)
+
+    def test_unroll_clones_share_binding(self):
+        from repro.ir.verifier import verify_alloca_bindings
+
+        fn = Function("f", [], VOID, LOC)
+        b = IRBuilder(fn)
+        b.set_block(b.new_block("entry"))
+        # param-loop unrolling: same declaration cloned, same type.
+        b.alloca(LOC, INT, "dx")
+        b.alloca(LOC, INT, "dx")
+        b.ret(LOC)
+        verify_alloca_bindings(fn)
+
+    def test_conflicting_types_at_one_location_rejected(self):
+        from repro.ir.verifier import verify_alloca_bindings
+
+        fn = Function("f", [], VOID, LOC)
+        b = IRBuilder(fn)
+        b.set_block(b.new_block("entry"))
+        b.alloca(LOC, INT, "dx")
+        b.alloca(LOC, BOOL, "dx")
+        b.ret(LOC)
+        with pytest.raises(VerificationError, match="conflicting types"):
+            verify_alloca_bindings(fn)
+
+    def test_sibling_scopes_may_reuse_a_name(self):
+        from repro.ir.verifier import verify_alloca_bindings
+
+        fn = Function("f", [], VOID, LOC)
+        b = IRBuilder(fn)
+        b.set_block(b.new_block("entry"))
+        b.alloca(LOC, INT, "k")
+        b.alloca(SourceLocation("t.chpl", 9, 1), BOOL, "k")
+        b.ret(LOC)
+        verify_alloca_bindings(fn)
+
+    def test_duplicate_formal_home_rejected(self):
+        from repro.ir.verifier import verify_alloca_bindings
+
+        fn = Function("f", [], VOID, LOC)
+        b = IRBuilder(fn)
+        b.set_block(b.new_block("entry"))
+        b.alloca(LOC, INT, "x", formal_home="x")
+        b.alloca(SourceLocation("t.chpl", 2, 1), INT, "x", formal_home="x")
+        b.ret(LOC)
+        with pytest.raises(VerificationError, match="two home allocas"):
+            verify_alloca_bindings(fn)

@@ -46,6 +46,14 @@ class TestExamples:
         assert "offline blame" in out
         assert "Ablations" in out
 
+    def test_advisor_tour(self, capsys):
+        load("advisor_tour.py").main()
+        out = capsys.readouterr().out
+        assert "zippered-iteration" in out
+        assert "blame" in out
+        assert "no findings" in out
+        assert "forall-race" in out
+
     def test_all_examples_importable(self):
         # The slow walkthroughs at least parse/import cleanly.
         for name in os.listdir(EXAMPLES):
