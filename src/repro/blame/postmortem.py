@@ -5,15 +5,43 @@ addresses to source context, glues worker-task post-spawn stacks to the
 recorded pre-spawn stacks via the spawn tag, and trims synthetic runtime
 frames — producing "a complete, clean call path of the application w/o
 libraries for each sample".
+
+Tolerant mode (``tolerant=True``) additionally survives degraded
+telemetry instead of mis-attributing it:
+
+* malformed samples (empty walk, negative leaf iid) are quarantined
+  into a side channel with per-reason counts;
+* incomplete stacks are repaired where possible — a lost spawn tag is
+  recovered from other samples of the same outlined function, and a
+  truncated walk is extended by longest-suffix match against intact
+  call paths from the same run;
+* whatever cannot be repaired lands in an explicit ``<unknown>`` blame
+  bucket with a provenance reason (``truncated-stack``,
+  ``lost-spawn-tag``, ``no-debug-info``) rather than vanishing or
+  skewing the attributed rows.
+
+On a clean stream the tolerant pipeline is a zero-cost abstraction: it
+produces bit-identical instances to strict mode.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..ir.module import Module
 from ..sampling.records import RawSample
 from ..sampling.stackwalk import StackResolver
+
+#: Provenance reasons for unattributable / rejected samples.
+REASON_TRUNCATED = "truncated-stack"
+REASON_LOST_TAG = "lost-spawn-tag"
+REASON_NO_DEBUG = "no-debug-info"
+REASON_MALFORMED = "malformed-sample"
+
+
+def _looks_stripped(name: str) -> bool:
+    # Raw-address frame names (debug info stripped) render as 0x....
+    return name.startswith("0x")
 
 
 @dataclass(frozen=True)
@@ -31,6 +59,17 @@ class Instance:
     locations: tuple[tuple[str, int], ...]
     was_glued: bool
     spawn_tag: int | None
+    #: True when the call path was repaired from degraded telemetry
+    #: (suffix-match gluing) rather than recorded intact.
+    was_recovered: bool = False
+
+
+@dataclass(frozen=True)
+class DegradedSample:
+    """A sample that could not be (fully) consolidated, with provenance."""
+
+    sample: RawSample
+    reason: str
 
 
 @dataclass
@@ -41,10 +80,32 @@ class PostmortemResult:
     #: Idle / pure-runtime samples (kept for the code-centric view).
     runtime_samples: list[RawSample]
     n_raw: int
+    #: Unattributable samples, by provenance (tolerant mode only).
+    unknown: list[DegradedSample] = field(default_factory=list)
+    #: Malformed samples rejected before consolidation (tolerant mode).
+    quarantined: list[DegradedSample] = field(default_factory=list)
+    #: Instances whose call path was repaired by suffix-match recovery.
+    n_recovered: int = 0
 
     @property
     def n_user(self) -> int:
         return len(self.instances)
+
+    @property
+    def n_unknown(self) -> int:
+        return len(self.unknown)
+
+    def unknown_by_reason(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for d in self.unknown:
+            out[d.reason] = out.get(d.reason, 0) + 1
+        return out
+
+    def quarantine_by_reason(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for d in self.quarantined:
+            out[d.reason] = out.get(d.reason, 0) + 1
+        return out
 
 
 def _is_user_frame(module: Module, func: str) -> bool:
@@ -55,8 +116,21 @@ def _is_user_frame(module: Module, func: str) -> bool:
     return module.get_function(func) is not None
 
 
+@dataclass
+class _Candidate:
+    """A degraded sample held back for the recovery pass."""
+
+    sample: RawSample
+    user_frames: list[tuple[str, int]]
+    glued: bool
+    had_stripped: bool
+
+
 def process_samples(
-    module: Module, samples: list[RawSample], options: object | None = None
+    module: Module,
+    samples: list[RawSample],
+    options: object | None = None,
+    tolerant: bool = False,
 ) -> PostmortemResult:
     """Runs stack consolidation over a raw sample stream."""
     from .options import FULL
@@ -65,11 +139,39 @@ def process_samples(
     resolver = StackResolver(module)
     instances: list[Instance] = []
     runtime: list[RawSample] = []
+    quarantined: list[DegradedSample] = []
+    unknown: list[DegradedSample] = []
+    candidates: list[_Candidate] = []
+    n_repaired = 0
+    #: tag → pre-spawn stack, learned from intact samples (recovery).
+    tag_index: dict[int, tuple[tuple[str, int], ...]] = {}
+
+    def emit(s: RawSample, frames: list[tuple[str, int]], glued: bool,
+             recovered: bool = False) -> None:
+        resolved = resolver.resolve_stack(tuple(frames))
+        instances.append(
+            Instance(
+                index=s.index,
+                thread_id=s.thread_id,
+                frames=tuple(frames),
+                locations=tuple((r.filename, r.line) for r in resolved),
+                was_glued=glued,
+                spawn_tag=s.spawn_tag,
+                was_recovered=recovered,
+            )
+        )
 
     for s in samples:
         if s.is_idle:
             runtime.append(s)
             continue
+        if tolerant:
+            from ..sampling.monitor import Monitor
+
+            flaw = Monitor.validate(s)
+            if flaw is not None:
+                quarantined.append(DegradedSample(s, REASON_MALFORMED))
+                continue
         frames = list(s.stack)
         glued = False
         if options.stack_gluing and s.spawn_tag is not None and s.pre_spawn_stack:
@@ -82,27 +184,168 @@ def process_samples(
         # Trim synthetic/artificial frames that carry no user context
         # (e.g. a sample landing in module init keeps that frame only if
         # nothing else remains).
+        had_stripped = tolerant and any(_looks_stripped(f) for f, _ in frames)
+        repaired = False
+        if had_stripped:
+            frames, repaired = _repair_stripped(resolver, frames)
         user_frames = [f for f in frames if _is_user_frame(module, f[0])]
         if not user_frames:
             # Paper: "when encountering samples of which the post-spawn
             # stack trace has no stack frames from the user code, we
             # trace back to its pre-spawn stack" — already glued above;
             # whatever still has no user frame is runtime-only.
-            runtime.append(s)
+            if had_stripped:
+                candidates.append(_Candidate(s, user_frames, glued, True))
+            else:
+                runtime.append(s)
             continue
 
-        resolved = resolver.resolve_stack(tuple(user_frames))
-        instances.append(
-            Instance(
-                index=s.index,
-                thread_id=s.thread_id,
-                frames=tuple(user_frames),
-                locations=tuple((r.filename, r.line) for r in resolved),
-                was_glued=glued,
-                spawn_tag=s.spawn_tag,
+        if tolerant and not _is_complete(module, user_frames):
+            candidates.append(_Candidate(s, user_frames, glued, had_stripped))
+            continue
+
+        if tolerant and glued and s.spawn_tag is not None:
+            # Learn tag → pre-spawn only from *intact* paths (repaired
+            # names, complete root), so a truncated or stripped
+            # pre-spawn can never poison tag recovery.
+            pre = (
+                tuple(frames[len(s.stack):])
+                if repaired
+                else tuple(s.pre_spawn_stack)
             )
+            tag_index.setdefault(s.spawn_tag, pre)
+        if repaired:
+            n_repaired += 1
+        emit(s, user_frames, glued, recovered=repaired)
+
+    n_recovered = n_repaired
+    if candidates:
+        n_recovered += _recover(
+            module, instances, candidates, unknown, tag_index, emit
         )
 
     return PostmortemResult(
-        instances=instances, runtime_samples=runtime, n_raw=len(samples)
+        instances=instances,
+        runtime_samples=runtime,
+        n_raw=len(samples),
+        unknown=unknown,
+        quarantined=quarantined,
+        n_recovered=n_recovered,
     )
+
+
+def _repair_stripped(
+    resolver: StackResolver, frames: list[tuple[str, int]]
+) -> tuple[list[tuple[str, int]], bool]:
+    """Re-identifies stripped interior frames by address-range lookup.
+
+    Debug-info stripping removes line/variable info but not the symbol
+    table, so a raw-address frame can still be mapped back to *which
+    function* its address falls in — enough to keep the blame-transfer
+    chain intact for frames above and below it.  Two cases stay broken:
+
+    * a stripped **leaf** — function identity alone cannot tell which
+      access the PC belongs to, so the sample is unattributable
+      (returns an empty walk → explicit unknown downstream);
+    * an address that resolves nowhere — the walk is cut there and the
+      suffix handed to longest-suffix-match recovery.
+    """
+    if _looks_stripped(frames[0][0]):
+        return [], False
+    out: list[tuple[str, int]] = []
+    repaired = False
+    for func, iid in frames:
+        if _looks_stripped(func):
+            name = resolver.identify(iid)
+            if name is None:
+                return out, repaired
+            out.append((name, iid))
+            repaired = True
+        else:
+            out.append((func, iid))
+    return out, repaired
+
+
+def _is_complete(module: Module, user_frames: list[tuple[str, int]]) -> bool:
+    """A consolidated path is complete when it roots at ``main`` (or an
+    artificial root like module init, which cannot bubble further)."""
+    root = user_frames[-1][0]
+    if root == "main":
+        return True
+    f = module.get_function(root)
+    return f is not None and f.is_artificial
+
+
+def _recover(
+    module: Module,
+    instances: list[Instance],
+    candidates: list[_Candidate],
+    unknown: list[DegradedSample],
+    tag_index: dict[int, tuple[tuple[str, int], ...]],
+    emit,
+) -> int:
+    """Second pass: repair degraded stacks from intact ones.
+
+    Two indexes are built from the first pass's intact instances:
+
+    * outlined-function → distinct pre-spawn stacks (for spawn-tag
+      loss: if every intact sample of outlined body F glued to one
+      pre-spawn stack, a tagless F sample glues to it too);
+    * deepest-remaining-frame → distinct continuations (for truncated
+      walks: the longest suffix below the matching frame of an intact
+      path, adopted only when unambiguous).
+    """
+    pre_index: dict[str, set[tuple[tuple[str, int], ...]]] = {}
+    cont_index: dict[tuple[str, int], set[tuple[tuple[str, int], ...]]] = {}
+    for inst in instances:
+        if inst.was_glued:
+            # The post-spawn part of a glued path ends at its outlined
+            # frame; everything below is the pre-spawn continuation.
+            for k, (func, _iid) in enumerate(inst.frames):
+                f = module.get_function(func)
+                if f is not None and f.outlined_from is not None:
+                    pre_index.setdefault(func, set()).add(inst.frames[k + 1:])
+                    break
+        for k in range(len(inst.frames) - 1):
+            cont_index.setdefault(inst.frames[k], set()).add(
+                inst.frames[k + 1:]
+            )
+
+    recovered = 0
+    for c in candidates:
+        s = c.sample
+        if not c.user_frames:
+            # Nothing resolvable at all — stripped debug info.
+            unknown.append(DegradedSample(s, REASON_NO_DEBUG))
+            continue
+        root_func, _root_iid = c.user_frames[-1]
+        rootf = module.get_function(root_func)
+        is_outlined_root = rootf is not None and rootf.outlined_from is not None
+
+        continuation: tuple[tuple[str, int], ...] | None = None
+        if is_outlined_root:
+            reason = REASON_LOST_TAG
+            if s.spawn_tag is not None:
+                # Tag survived but the pre-spawn stack was lost: glue
+                # via another sample that recorded the same tag intact.
+                continuation = tag_index.get(s.spawn_tag)
+            if continuation is None:
+                options = pre_index.get(root_func, set())
+                if len(options) == 1:
+                    continuation = next(iter(options))
+        else:
+            reason = REASON_NO_DEBUG if c.had_stripped else REASON_TRUNCATED
+            options = cont_index.get(c.user_frames[-1], set())
+            if len(options) == 1:
+                continuation = next(iter(options))
+
+        if continuation is not None:
+            frames = c.user_frames + [
+                f for f in continuation if _is_user_frame(module, f[0])
+            ]
+            if _is_complete(module, frames):
+                emit(s, frames, True, recovered=True)
+                recovered += 1
+                continue
+        unknown.append(DegradedSample(s, reason))
+    return recovered

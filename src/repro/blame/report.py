@@ -63,6 +63,14 @@ class RunStats:
     dataset_bytes: int = 0
     stackwalk_cycles: float = 0.0
     postmortem_seconds: float = 0.0
+    #: Degradation accounting (all zero on a clean run).
+    unknown_samples: int = 0
+    quarantined_samples: int = 0
+    recovered_samples: int = 0
+
+
+#: Display name/context of the unattributable-cycles bucket.
+UNKNOWN_BUCKET = "<unknown>"
 
 
 @dataclass
@@ -73,6 +81,12 @@ class BlameReport:
     rows: list[BlameRow]
     stats: RunStats
     locale_id: int = 0
+    #: Unattributable samples by provenance reason (tolerant pipeline).
+    unknown_by_reason: dict[str, int] = field(default_factory=dict)
+    #: Ingest/postmortem rejections by reason.
+    quarantine_by_reason: dict[str, int] = field(default_factory=dict)
+    #: Locales absent from a merged report (crashed / timed out).
+    missing_locales: tuple[int, ...] = ()
 
     def top(self, n: int = 10) -> list[BlameRow]:
         return self.rows[:n]
@@ -94,9 +108,16 @@ def build_rows(
     attribution: AttributionResult,
     min_blame: float = 0.0,
     include_temps: bool = False,
+    unknown_samples: int = 0,
 ) -> list[BlameRow]:
-    """Converts attribution counts into ranked display rows."""
-    total = attribution.total_samples
+    """Converts attribution counts into ranked display rows.
+
+    ``unknown_samples`` (degraded runs only) joins the denominator so
+    blame percentages stay honest — the attributed rows shrink by
+    exactly the share the ``<unknown>`` bucket row claims, keeping the
+    flat view's accounting at 100 % of user-code cycles.
+    """
+    total = attribution.total_samples + unknown_samples
     rows: list[BlameRow] = []
     for vb in attribution.sorted_rows(include_temps=include_temps):
         frac = vb.percentage(total)
@@ -112,4 +133,16 @@ def build_rows(
                 is_path=vb.is_path,
             )
         )
+    if unknown_samples > 0:
+        rows.append(
+            BlameRow(
+                name=UNKNOWN_BUCKET,
+                type_str="",
+                blame=unknown_samples / total if total else 0.0,
+                context=UNKNOWN_BUCKET,
+                samples=unknown_samples,
+                is_path=False,
+            )
+        )
+        rows.sort(key=lambda r: (-r.samples, r.context, r.name))
     return rows

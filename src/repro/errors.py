@@ -1,0 +1,52 @@
+"""Typed exception hierarchy for the whole pipeline.
+
+Every error the tool raises on purpose derives from :class:`ReproError`
+so callers (the multi-locale harness, the CLIs, CI gates) can separate
+"the measurement stack degraded" from genuine programming errors.
+
+Several classes also subclass :class:`ValueError` because earlier
+versions raised bare ``ValueError`` at the same sites — existing
+``except ValueError`` callers keep working.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised deliberately by the tool."""
+
+
+class AggregationError(ReproError, ValueError):
+    """Cross-locale aggregation failed (no mergeable reports, bad
+    locale count, all locales lost)."""
+
+
+class SampleFormatError(ReproError, ValueError):
+    """A sample record or dataset header is malformed or has an
+    unsupported version."""
+
+
+class DebugInfoError(ReproError):
+    """An address could not be resolved against the debug info (strict
+    resolution only — the tolerant pipeline buckets these instead)."""
+
+
+class DatasetCorruptError(ReproError):
+    """A journaled dataset failed checksum validation beyond its
+    recoverable prefix (corrupt header, or strict-mode tail damage)."""
+
+
+class LocaleError(ReproError):
+    """Base for per-locale failures in the multi-locale harness."""
+
+    def __init__(self, locale_id: int, message: str) -> None:
+        super().__init__(message)
+        self.locale_id = locale_id
+
+
+class LocaleCrashError(LocaleError):
+    """A locale's run crashed (injected or real)."""
+
+
+class LocaleTimeoutError(LocaleError):
+    """A locale exceeded the per-locale wall-clock budget."""

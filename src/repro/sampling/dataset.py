@@ -9,18 +9,32 @@ and sampling configuration, so a separate process can re-do the
 analysis: recompile the source with fresh deterministic instruction
 ids, check the hash, and attribute.
 
-Format: line 1 is a header object; each further line is one sample.
+Two formats:
+
+* **v1** (``save_samples``/``load_samples``): plain JSONL — line 1 is a
+  header object; each further line is one sample.  Whole-file writes,
+  no integrity protection.
+* **v2 journal** (:class:`DatasetJournal`): append-only, every line
+  (header included) carries a CRC-32 of its payload.  A run interrupted
+  mid-stream loses at most the unflushed tail: :func:`scan_journal`
+  detects the corrupt tail, :func:`load_journal` returns the good
+  prefix, and :meth:`DatasetJournal.resume` truncates to the last good
+  record and continues appending.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
-from dataclasses import dataclass
+import os
+import zlib
+from dataclasses import dataclass, field
 
+from ..errors import DatasetCorruptError, SampleFormatError
 from .records import RawSample
 
 FORMAT_VERSION = 1
+JOURNAL_VERSION = 2
 
 
 def source_digest(source: str) -> str:
@@ -50,8 +64,8 @@ class DatasetHeader:
 
     @classmethod
     def from_json(cls, d: dict) -> "DatasetHeader":
-        if d.get("version") != FORMAT_VERSION:
-            raise ValueError(
+        if d.get("version") not in (FORMAT_VERSION, JOURNAL_VERSION):
+            raise SampleFormatError(
                 f"unsupported dataset version {d.get('version')!r}"
             )
         return cls(
@@ -60,6 +74,7 @@ class DatasetHeader:
             threshold=d["threshold"],
             num_threads=d["num_threads"],
             locale_id=d.get("locale_id", 0),
+            version=d["version"],
         )
 
 
@@ -80,18 +95,21 @@ def _sample_to_json(s: RawSample) -> dict:
 
 
 def _sample_from_json(d: dict) -> RawSample:
-    return RawSample(
-        index=d["i"],
-        thread_id=d["t"],
-        task_id=d["k"],
-        stack=tuple((f, iid) for f, iid in d["s"]),
-        leaf_iid=d["ip"],
-        spawn_tag=d.get("tag"),
-        pre_spawn_stack=(
-            tuple((f, iid) for f, iid in d["pre"]) if "tag" in d else None
-        ),
-        is_idle=d.get("idle", False),
-    )
+    try:
+        return RawSample(
+            index=d["i"],
+            thread_id=d["t"],
+            task_id=d["k"],
+            stack=tuple((f, iid) for f, iid in d["s"]),
+            leaf_iid=d["ip"],
+            spawn_tag=d.get("tag"),
+            pre_spawn_stack=(
+                tuple((f, iid) for f, iid in d["pre"]) if "tag" in d else None
+            ),
+            is_idle=d.get("idle", False),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SampleFormatError(f"malformed sample record: {exc!r}") from exc
 
 
 def save_samples(
@@ -105,11 +123,192 @@ def save_samples(
 
 
 def load_samples(path: str) -> tuple[DatasetHeader, list[RawSample]]:
-    """Reads a dataset back: (header, samples)."""
+    """Reads a dataset back: (header, samples).  Accepts both the plain
+    v1 format and the v2 journal (strict: corrupt journals raise)."""
     with open(path) as f:
         first = f.readline()
         if not first:
-            raise ValueError(f"{path}: empty dataset")
-        header = DatasetHeader.from_json(json.loads(first))
+            raise SampleFormatError(f"{path}: empty dataset")
+        d = json.loads(first)
+        if "h" in d and "c" in d:
+            header, samples, _scan = load_journal(path, strict=True)
+            return header, samples
+        header = DatasetHeader.from_json(d)
         samples = [_sample_from_json(json.loads(line)) for line in f if line.strip()]
     return header, samples
+
+
+# -- v2: append-only journal with per-record checksums ----------------------
+
+
+def _crc_line(kind: str, payload: dict) -> str:
+    """One journal line: ``{"c": <crc32>, "<kind>": <payload>}``."""
+    body = json.dumps(payload, separators=(",", ":"), sort_keys=True)
+    return json.dumps(
+        {"c": zlib.crc32(body.encode())}, separators=(",", ":")
+    )[:-1] + f',"{kind}":{body}}}'
+
+
+def _check_line(line: str) -> tuple[str, dict]:
+    """Parses and checksum-verifies one journal line → (kind, payload).
+
+    Raises :class:`DatasetCorruptError` on any damage."""
+    try:
+        d = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise DatasetCorruptError(f"unparseable journal line: {exc}") from exc
+    if not isinstance(d, dict) or "c" not in d:
+        raise DatasetCorruptError("journal line missing checksum")
+    kinds = [k for k in d if k != "c"]
+    if len(kinds) != 1:
+        raise DatasetCorruptError("journal line has no single payload")
+    kind = kinds[0]
+    body = json.dumps(d[kind], separators=(",", ":"), sort_keys=True)
+    if zlib.crc32(body.encode()) != d["c"]:
+        raise DatasetCorruptError(f"checksum mismatch on {kind!r} record")
+    return kind, d[kind]
+
+
+@dataclass
+class JournalScan:
+    """Outcome of scanning a journal for its recoverable prefix."""
+
+    header: DatasetHeader
+    n_good: int  # sample records that verified
+    good_bytes: int  # file offset just past the last good record
+    n_corrupt: int  # lines lost to the corrupt tail
+    error: str | None = None  # first corruption encountered
+
+    @property
+    def intact(self) -> bool:
+        return self.n_corrupt == 0
+
+
+class DatasetJournal:
+    """Append-only sample journal: survives interrupted runs.
+
+    Every record (header included) is a checksummed line, flushed every
+    ``flush_every`` appends, so a simulated kill loses at most the
+    unflushed tail and :meth:`resume` continues from the last good
+    record.
+    """
+
+    def __init__(
+        self, path: str, header: DatasetHeader, flush_every: int = 64
+    ) -> None:
+        self.path = path
+        self.header = DatasetHeader(
+            program=header.program,
+            source_sha256=header.source_sha256,
+            threshold=header.threshold,
+            num_threads=header.num_threads,
+            locale_id=header.locale_id,
+            version=JOURNAL_VERSION,
+        )
+        self.flush_every = max(1, flush_every)
+        self.n_appended = 0
+        self._f = open(path, "w")
+        self._f.write(_crc_line("h", self.header.to_json()) + "\n")
+        self._f.flush()
+
+    @classmethod
+    def resume(cls, path: str) -> tuple["DatasetJournal", list[RawSample]]:
+        """Reopens an interrupted journal: truncates the corrupt tail
+        and returns (journal positioned to append, recovered samples)."""
+        header, samples, scan = load_journal(path, strict=False)
+        with open(path, "r+") as f:
+            f.truncate(scan.good_bytes)
+        journal = cls.__new__(cls)
+        journal.path = path
+        journal.header = header
+        journal.flush_every = 64
+        journal.n_appended = scan.n_good
+        journal._f = open(path, "a")
+        return journal, samples
+
+    def append(self, sample: RawSample) -> None:
+        self._f.write(_crc_line("s", _sample_to_json(sample)) + "\n")
+        self.n_appended += 1
+        if self.n_appended % self.flush_every == 0:
+            self._f.flush()
+            os.fsync(self._f.fileno())
+
+    def extend(self, samples: list[RawSample]) -> None:
+        for s in samples:
+            self.append(s)
+
+    def flush(self) -> None:
+        self._f.flush()
+        os.fsync(self._f.fileno())
+
+    def close(self) -> None:
+        if not self._f.closed:
+            self.flush()
+            self._f.close()
+
+    def __enter__(self) -> "DatasetJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        # On an exception (the simulated kill) the tail past the last
+        # explicit flush may be lost; close() flushes what it can.
+        self.close()
+
+
+def scan_journal(path: str) -> tuple[list[RawSample], JournalScan]:
+    """Walks a journal, verifying checksums, until damage or EOF."""
+    samples: list[RawSample] = []
+    with open(path, "rb") as f:
+        raw_lines = f.read().split(b"\n")
+    first = raw_lines[0].decode("utf-8", errors="replace") if raw_lines else ""
+    if not first.strip():
+        raise DatasetCorruptError(f"{path}: empty journal")
+    kind, payload = _check_line(first)  # header damage is unrecoverable
+    if kind != "h":
+        raise DatasetCorruptError(f"{path}: first record is not a header")
+    header = DatasetHeader.from_json(payload)
+
+    file_size = sum(len(r) for r in raw_lines) + len(raw_lines) - 1
+    offset = len(raw_lines[0]) + 1
+    n_corrupt = 0
+    error: str | None = None
+    for i, raw in enumerate(raw_lines[1:], start=1):
+        line = raw.decode("utf-8", errors="replace")
+        if not line.strip():
+            offset += len(raw) + 1
+            continue
+        try:
+            kind, payload = _check_line(line)
+            if kind != "s":
+                raise DatasetCorruptError(f"unexpected record kind {kind!r}")
+            samples.append(_sample_from_json(payload))
+        except (DatasetCorruptError, SampleFormatError, KeyError, TypeError) as exc:
+            # Append-only: everything past the first bad record is the
+            # interrupted tail; count it and stop.
+            error = str(exc)
+            n_corrupt = sum(1 for r in raw_lines[i:] if r.strip())
+            break
+        offset += len(raw) + 1
+    # A good final record without its trailing newline would put the
+    # offset one past EOF; clamp so resume() never zero-extends.
+    offset = min(offset, file_size)
+    return samples, JournalScan(
+        header=header,
+        n_good=len(samples),
+        good_bytes=offset,
+        n_corrupt=n_corrupt,
+        error=error,
+    )
+
+
+def load_journal(
+    path: str, strict: bool = False
+) -> tuple[DatasetHeader, list[RawSample], JournalScan]:
+    """Reads a journal back; in strict mode a corrupt tail raises."""
+    samples, scan = scan_journal(path)
+    if strict and not scan.intact:
+        raise DatasetCorruptError(
+            f"{path}: corrupt tail after {scan.n_good} good records "
+            f"({scan.error})"
+        )
+    return scan.header, samples, scan

@@ -5,6 +5,12 @@ the "stack walk" (the interpreter already materialized it — we charge
 its cost to the sampled thread, which is the measured tool overhead the
 paper reports: 0.051 ms/walk against a 241 ms interval ≈ 0.02 %), looks
 up the worker task's spawn record, and appends a :class:`RawSample`.
+
+Malformed payloads (an empty walk, a negative instruction id on a
+non-idle sample) are rejected at ingest and quarantined with a reason,
+instead of flowing downstream and surfacing as confusing attribution
+errors far from the cause.  A clean interpreter never produces them;
+fault injection and real lossy collectors do.
 """
 
 from __future__ import annotations
@@ -29,12 +35,21 @@ class OverheadStats:
         return self.stackwalk_cycles_total / self.n_samples if self.n_samples else 0.0
 
 
+@dataclass(frozen=True)
+class QuarantinedSample:
+    """A sample rejected at ingest, kept for diagnosis."""
+
+    reason: str  # "empty-stack" | "negative-leaf-iid"
+    sample: RawSample
+
+
 class Monitor:
     """Collects raw samples during a run."""
 
     def __init__(self, pmu: PMUConfig | None = None, charge_overhead: bool = True) -> None:
         self.pmu = pmu or PMUConfig()
         self.samples: list[RawSample] = []
+        self.quarantined: list[QuarantinedSample] = []
         self.overhead = OverheadStats()
         self.charge_overhead = charge_overhead
 
@@ -49,7 +64,7 @@ class Monitor:
             if task.spawn is not None and not task.is_main:
                 spawn_tag = task.spawn.tag
                 pre_spawn = tuple(task.spawn.pre_spawn_stack)
-        self.samples.append(
+        self._ingest(
             RawSample(
                 index=len(self.samples),
                 thread_id=thread.thread_id,
@@ -61,14 +76,49 @@ class Monitor:
                 is_idle=is_idle,
             )
         )
+        # The walk happened regardless of whether the record survived
+        # validation, so its cost is charged either way.
         self.overhead.n_samples += 1
         if self.charge_overhead:
             thread.clock += STACKWALK_CYCLES
             self.overhead.stackwalk_cycles_total += STACKWALK_CYCLES
 
+    def _ingest(self, sample: RawSample) -> None:
+        """Validates and stores one sample (injection wrappers hook here)."""
+        reason = self.validate(sample)
+        if reason is not None:
+            self.quarantined.append(QuarantinedSample(reason, sample))
+            return
+        self.samples.append(sample)
+
+    @staticmethod
+    def validate(sample: RawSample) -> str | None:
+        """Returns a rejection reason, or None for a well-formed sample.
+
+        Idle samples are exempt: their synthetic ``__sched_yield`` frame
+        legitimately carries iid -1.
+        """
+        if sample.is_idle:
+            return None
+        if not sample.stack:
+            return "empty-stack"
+        if sample.leaf_iid < 0:
+            return "negative-leaf-iid"
+        return None
+
     @property
     def n_samples(self) -> int:
         return len(self.samples)
+
+    @property
+    def n_quarantined(self) -> int:
+        return len(self.quarantined)
+
+    def quarantine_by_reason(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for q in self.quarantined:
+            out[q.reason] = out.get(q.reason, 0) + 1
+        return out
 
     def user_samples(self) -> list[RawSample]:
         """Samples that landed in program (non-idle) code."""

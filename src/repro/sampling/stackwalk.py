@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..errors import DebugInfoError
 from ..ir.module import Module
 
 
@@ -34,7 +35,10 @@ class StackResolver:
         self.module = module
         self._index = module.instruction_index()
 
-    def resolve_entry(self, func: str, iid: int) -> ResolvedFrame:
+    def resolve_entry(self, func: str, iid: int, strict: bool = False) -> ResolvedFrame:
+        """Resolves one frame; with ``strict=True`` an address that has
+        no debug info raises :class:`DebugInfoError` instead of
+        degrading to an ``<unknown>`` location."""
         if iid < 0:
             return ResolvedFrame(
                 function=func,
@@ -46,6 +50,10 @@ class StackResolver:
             )
         hit = self._index.get(iid)
         if hit is None:
+            if strict:
+                raise DebugInfoError(
+                    f"no debug info for address {iid} (frame {func!r})"
+                )
             return ResolvedFrame(func, func, "<unknown>", 0, iid, True)
         f, instr = hit
         return ResolvedFrame(
@@ -56,6 +64,17 @@ class StackResolver:
             iid=iid,
             is_runtime=f.is_artificial,
         )
+
+    def identify(self, iid: int) -> str | None:
+        """Address-range lookup: the linkage name of the function whose
+        range contains ``iid``, or None.  This is the ELF *symbol
+        table* path — it keeps working on modules whose debug info was
+        stripped, which is why tolerant post-mortem uses it to
+        re-identify interior frames that resolve to raw addresses."""
+        if iid < 0:
+            return None
+        hit = self._index.get(iid)
+        return hit[0].name if hit is not None else None
 
     def resolve_stack(
         self, stack: tuple[tuple[str, int], ...]

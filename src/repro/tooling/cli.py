@@ -81,6 +81,25 @@ def main(argv: list[str] | None = None) -> int:
         metavar="PATH",
         help="also write a self-contained HTML report (the GUI analogue)",
     )
+    ap.add_argument(
+        "--journal",
+        action="store_true",
+        help="with --save-samples: write the checksummed journal format "
+        "(per-record CRC, resumable after a torn write)",
+    )
+    ap.add_argument(
+        "--inject-faults",
+        metavar="SPEC",
+        help="degrade the sample stream before post-mortem, e.g. "
+        "drop=0.1,truncate=0.1:3,tagloss=0.05,strip=0.1,seed=42",
+    )
+    ap.add_argument(
+        "--fail-on-quarantine-rate",
+        type=float,
+        metavar="X",
+        help="exit 3 when more than fraction X of samples were "
+        "quarantined (telemetry-health gate for CI)",
+    )
     args = ap.parse_args(argv)
 
     with open(args.source) as f:
@@ -101,11 +120,17 @@ def main(argv: list[str] | None = None) -> int:
         num_threads=args.threads,
         threshold=args.threshold,
         fast=args.fast,
+        faults=args.inject_faults,
     )
     result = profiler.profile()
 
     if args.save_samples:
-        from ..sampling.dataset import DatasetHeader, save_samples, source_digest
+        from ..sampling.dataset import (
+            DatasetHeader,
+            DatasetJournal,
+            save_samples,
+            source_digest,
+        )
 
         header = DatasetHeader(
             program=args.source,
@@ -113,8 +138,13 @@ def main(argv: list[str] | None = None) -> int:
             threshold=args.threshold,
             num_threads=args.threads,
         )
-        save_samples(args.save_samples, header, result.monitor.samples)
-        print(f"[raw samples saved to {args.save_samples}]")
+        if args.journal:
+            with DatasetJournal(args.save_samples, header) as journal:
+                journal.extend(result.monitor.samples)
+            print(f"[journaled samples saved to {args.save_samples}]")
+        else:
+            save_samples(args.save_samples, header, result.monitor.samples)
+            print(f"[raw samples saved to {args.save_samples}]")
 
     if args.show_output:
         for line in result.run_result.output:
@@ -140,6 +170,55 @@ def main(argv: list[str] | None = None) -> int:
         f"{result.monitor.n_samples} samples "
         f"({result.postmortem.n_user} user)]"
     )
+    _print_degradation(result)
+    return _quarantine_gate(result, args.fail_on_quarantine_rate)
+
+
+def _print_degradation(result) -> None:
+    """One summary line per degradation channel (silent when clean)."""
+    stats = result.report.stats
+    if result.fault_stats is not None:
+        fs = result.fault_stats
+        print(
+            f"[injected faults: {fs.total_faults} over {fs.examined} "
+            f"samples (dropped {fs.dropped}, corrupted {fs.corrupted}, "
+            f"truncated {fs.truncated}, tags lost {fs.tags_lost}, "
+            f"stripped {fs.stripped})]"
+        )
+    if stats.quarantined_samples:
+        reasons = ", ".join(
+            f"{r}: {n}"
+            for r, n in sorted(result.report.quarantine_by_reason.items())
+        )
+        print(
+            f"[quarantined {stats.quarantined_samples} malformed "
+            f"samples ({reasons})]"
+        )
+    if stats.recovered_samples:
+        print(f"[recovered {stats.recovered_samples} degraded call paths]")
+    if stats.unknown_samples:
+        reasons = ", ".join(
+            f"{r}: {n}"
+            for r, n in sorted(result.report.unknown_by_reason.items())
+        )
+        print(
+            f"[unattributable: {stats.unknown_samples} samples in the "
+            f"<unknown> bucket ({reasons})]"
+        )
+
+
+def _quarantine_gate(result, limit: float | None) -> int:
+    """Exit 3 when the quarantine rate exceeds the CI gate."""
+    if limit is None:
+        return 0
+    rate = result.quarantine_rate
+    if rate > limit:
+        print(
+            f"quarantine rate {rate:.3f} exceeds --fail-on-quarantine-rate "
+            f"{limit:.3f}",
+            file=sys.stderr,
+        )
+        return 3
     return 0
 
 
@@ -241,6 +320,19 @@ def advise_main(argv: list[str] | None = None) -> int:
     ap.add_argument(
         "--config", nargs="*", default=[], help="config overrides: name=value"
     )
+    ap.add_argument(
+        "--inject-faults",
+        metavar="SPEC",
+        help="with --profile: degrade the sample stream before "
+        "post-mortem (see repro-profile --inject-faults)",
+    )
+    ap.add_argument(
+        "--fail-on-quarantine-rate",
+        type=float,
+        metavar="X",
+        help="with --profile: exit 3 when more than fraction X of "
+        "samples were quarantined",
+    )
     args = ap.parse_args(argv)
 
     if (args.source is None) == (args.benchmark is None):
@@ -253,6 +345,7 @@ def advise_main(argv: list[str] | None = None) -> int:
         filename = args.source
 
     report = None
+    result = None
     try:
         if args.profile:
             profiler = Profiler(
@@ -261,6 +354,7 @@ def advise_main(argv: list[str] | None = None) -> int:
                 config=_parse_config(args.config),
                 num_threads=args.threads,
                 threshold=args.threshold,
+                faults=args.inject_faults,
             )
             result = profiler.profile()
             module = result.module
@@ -285,6 +379,11 @@ def advise_main(argv: list[str] | None = None) -> int:
             print(render_hybrid(report, findings=shown))
             print()
         print(render_findings(shown, title=f"Advisor report: {filename}"))
+    if result is not None:
+        _print_degradation(result)
+        gate = _quarantine_gate(result, args.fail_on_quarantine_rate)
+        if gate:
+            return gate
     has_errors = any(f.severity >= Severity.ERROR for f in findings)
     return 1 if has_errors else 0
 

@@ -9,6 +9,13 @@ once per locale, parameterized by the config constants ``localeId`` and
 Chapel block distributions do), and the per-locale blame reports merge
 into one program-wide report.
 
+Fleets are lossy, so the harness treats per-locale failure as routine:
+a crashing locale is retried with exponential backoff, a straggler is
+flagged against the per-locale wall-clock budget, and locales that stay
+down are *marked missing* while the surviving reports still merge
+(``allow_partial``) — the whole aggregation only fails when nothing
+survived.
+
 This is a simulation of the *aggregation* path only — it does not model
 inter-locale communication (tracking data through GASNet is the paper's
 future work, and ours).
@@ -16,11 +23,33 @@ future work, and ours).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 
 from ..blame.aggregate import merge_reports
 from ..blame.report import BlameReport
+from ..errors import (
+    AggregationError,
+    LocaleCrashError,
+    LocaleTimeoutError,
+    ReproError,
+)
 from .profiler import ProfileResult, Profiler
+
+
+@dataclass
+class LocaleOutcome:
+    """How one locale's run went (including its retry history)."""
+
+    locale_id: int
+    status: str  # "ok" | "straggler" | "crashed" | "timeout"
+    attempts: int
+    elapsed: float
+    error: str | None = None
+
+    @property
+    def succeeded(self) -> bool:
+        return self.status in ("ok", "straggler")
 
 
 @dataclass
@@ -29,10 +58,22 @@ class MultiLocaleResult:
 
     per_locale: list[ProfileResult]
     merged: BlameReport
+    outcomes: list[LocaleOutcome] = field(default_factory=list)
+    requested_locales: int = 0
 
     @property
     def num_locales(self) -> int:
         return len(self.per_locale)
+
+    @property
+    def missing_locales(self) -> tuple[int, ...]:
+        return tuple(o.locale_id for o in self.outcomes if not o.succeeded)
+
+    @property
+    def stragglers(self) -> tuple[int, ...]:
+        return tuple(
+            o.locale_id for o in self.outcomes if o.status == "straggler"
+        )
 
 
 def profile_locales(
@@ -44,31 +85,151 @@ def profile_locales(
     threshold: int = 20011,
     locale_id_config: str = "localeId",
     num_locales_config: str = "numLocales",
+    faults: "object | str | None" = None,
+    locale_timeout: float | None = None,
+    max_retries: int = 2,
+    retry_backoff: float = 0.01,
+    allow_partial: bool = True,
+    drop_stragglers: bool = False,
 ) -> MultiLocaleResult:
     """Profiles ``source`` once per locale and merges the reports.
 
     The program must declare ``config const localeId: int`` and
     ``config const numLocales: int`` (names overridable) and partition
     its own work by them.
+
+    ``faults`` (a :class:`~repro.resilience.faults.FaultPlan` or spec
+    string) degrades each locale independently and can crash or delay
+    whole locales.  ``locale_timeout`` is the per-locale wall-clock
+    budget in host seconds: a locale exceeding it is a straggler (kept,
+    flagged) or — with ``drop_stragglers`` — treated as failed.  Failed
+    locales are retried ``max_retries`` times with exponential backoff;
+    locales that never succeed are marked missing on the merged report
+    unless ``allow_partial`` is off, in which case the harness raises
+    :class:`AggregationError`.
     """
     if num_locales < 1:
-        raise ValueError("need at least one locale")
+        raise AggregationError("need at least one locale")
+    plan = None
+    if faults is not None:
+        from ..resilience.faults import FaultPlan
+
+        plan = FaultPlan.parse(faults) if isinstance(faults, str) else faults
+
     base = dict(config or {})
     per_locale: list[ProfileResult] = []
     reports: list[BlameReport] = []
+    outcomes: list[LocaleOutcome] = []
     for locale in range(num_locales):
         cfg = dict(base)
         cfg[locale_id_config] = locale
         cfg[num_locales_config] = num_locales
-        result = Profiler(
+        outcome, result = _run_one_locale(
             source,
-            filename=filename,
-            config=cfg,
+            filename,
+            cfg,
+            locale,
             num_threads=num_threads,
             threshold=threshold,
-        ).profile()
-        result.report.locale_id = locale
-        per_locale.append(result)
-        reports.append(result.report)
-    merged = merge_reports(reports, program=filename)
-    return MultiLocaleResult(per_locale=per_locale, merged=merged)
+            plan=plan,
+            locale_timeout=locale_timeout,
+            max_retries=max_retries,
+            retry_backoff=retry_backoff,
+            drop_stragglers=drop_stragglers,
+        )
+        outcomes.append(outcome)
+        if result is not None:
+            result.report.locale_id = locale
+            per_locale.append(result)
+            reports.append(result.report)
+        elif not allow_partial:
+            raise AggregationError(
+                f"locale {locale} failed after {outcome.attempts} attempts: "
+                f"{outcome.error}"
+            )
+
+    missing = tuple(o.locale_id for o in outcomes if not o.succeeded)
+    if not reports:
+        raise AggregationError(
+            f"all {num_locales} locales failed; nothing to aggregate "
+            f"(last error: {outcomes[-1].error})"
+        )
+    merged = merge_reports(reports, program=filename, missing_locales=missing)
+    return MultiLocaleResult(
+        per_locale=per_locale,
+        merged=merged,
+        outcomes=outcomes,
+        requested_locales=num_locales,
+    )
+
+
+def _run_one_locale(
+    source: str,
+    filename: str,
+    cfg: dict[str, object],
+    locale: int,
+    num_threads: int,
+    threshold: int,
+    plan,
+    locale_timeout: float | None,
+    max_retries: int,
+    retry_backoff: float,
+    drop_stragglers: bool,
+) -> tuple[LocaleOutcome, ProfileResult | None]:
+    """One locale with bounded retry + backoff; never raises."""
+    attempts = 0
+    last_error: str | None = None
+    last_status = "crashed"
+    t_start = time.perf_counter()
+    while attempts <= max_retries:
+        if attempts:
+            time.sleep(retry_backoff * (2 ** (attempts - 1)))
+        attempts += 1
+        t0 = time.perf_counter()
+        try:
+            if plan is not None and plan.should_crash(locale, attempts - 1):
+                raise LocaleCrashError(
+                    locale, f"injected crash on locale {locale}"
+                )
+            delay = plan.straggle_seconds(locale) if plan is not None else 0.0
+            if delay:
+                time.sleep(delay)
+            result = Profiler(
+                source,
+                filename=filename,
+                config=cfg,
+                num_threads=num_threads,
+                threshold=threshold,
+                faults=plan.for_locale(locale) if plan is not None else None,
+            ).profile()
+        except ReproError as exc:
+            last_error = str(exc)
+            last_status = "crashed"
+            continue
+        elapsed = time.perf_counter() - t0
+        if locale_timeout is not None and elapsed > locale_timeout:
+            if drop_stragglers:
+                last_error = str(
+                    LocaleTimeoutError(
+                        locale,
+                        f"locale {locale} took {elapsed:.3f}s "
+                        f"(budget {locale_timeout:.3f}s)",
+                    )
+                )
+                last_status = "timeout"
+                continue
+            return (
+                LocaleOutcome(locale, "straggler", attempts, elapsed),
+                result,
+            )
+        return LocaleOutcome(locale, "ok", attempts, elapsed), result
+    return (
+        LocaleOutcome(
+            locale,
+            last_status,
+            attempts,
+            time.perf_counter() - t_start,
+            error=last_error,
+        ),
+        None,
+    )

@@ -68,10 +68,21 @@ class ProfileResult:
     #: The interpreter that executed the run (exposes globals_store and
     #: the heap — the HPCToolkit baseline reads allocation sizes there).
     interpreter: "Interpreter | None" = None
+    #: What fault injection did to this run (None on clean runs).
+    fault_stats: "object | None" = None
 
     @property
     def wall_seconds(self) -> float:
         return self.run_result.wall_seconds
+
+    @property
+    def quarantine_rate(self) -> float:
+        """Rejected samples as a fraction of everything the monitor saw."""
+        total = (
+            self.report.stats.total_raw_samples
+            + self.report.stats.quarantined_samples
+        )
+        return self.report.stats.quarantined_samples / total if total else 0.0
 
 
 class Profiler:
@@ -97,6 +108,7 @@ class Profiler:
         blame_options: "object | None" = None,
         skid: int = 0,
         skid_compensation: bool = False,
+        faults: "object | str | None" = None,
     ) -> None:
         if isinstance(source, Module):
             self.module = source
@@ -117,6 +129,11 @@ class Profiler:
         self.blame_options = blame_options
         self.skid = skid
         self.skid_compensation = skid_compensation
+        if isinstance(faults, str):
+            from ..resilience.faults import FaultPlan
+
+            faults = FaultPlan.parse(faults)
+        self.faults = faults
 
     def profile(self) -> ProfileResult:
         # Step 1 — static analysis (pre-run, sample-independent; cached
@@ -139,32 +156,53 @@ class Profiler:
         )
         run_result = interp.run()
 
-        # Step 3 — post-mortem processing.
+        # Optional fault injection between steps 2 and 3: the monitor's
+        # stream stays pristine; post-mortem sees the degraded copy.
+        injector = None
+        samples = monitor.samples
+        if self.faults is not None and not getattr(self.faults, "is_clean", True):
+            from ..resilience.inject import FaultInjector
+
+            injector = FaultInjector(self.faults, module=self.module)
+            samples = injector.degrade_samples(samples)
+
+        # Step 3 — post-mortem processing (tolerant: degraded telemetry
+        # is bucketed/quarantined, never raised; a no-op when clean).
         t0 = time.perf_counter()
         pm = process_samples(
-            self.module, monitor.samples, options=static_info.options
+            self.module, samples, options=static_info.options, tolerant=True
         )
         attribution = BlameAttributor(static_info).attribute(pm.instances)
         postmortem_seconds = time.perf_counter() - t0
 
         # Step 4 — report assembly.
+        n_quarantined = len(pm.quarantined) + monitor.n_quarantined
         stats = RunStats(
-            total_raw_samples=monitor.n_samples,
+            total_raw_samples=len(samples),
             user_samples=pm.n_user,
             runtime_samples=len(pm.runtime_samples),
             wall_seconds=run_result.wall_seconds,
             dataset_bytes=monitor.dataset_size_bytes(),
             stackwalk_cycles=monitor.overhead.stackwalk_cycles_total,
             postmortem_seconds=postmortem_seconds,
+            unknown_samples=pm.n_unknown,
+            quarantined_samples=n_quarantined,
+            recovered_samples=pm.n_recovered,
         )
+        quarantine_reasons = pm.quarantine_by_reason()
+        for reason, n in monitor.quarantine_by_reason().items():
+            quarantine_reasons[reason] = quarantine_reasons.get(reason, 0) + n
         report = BlameReport(
             program=self.program_name,
             rows=build_rows(
                 attribution,
                 min_blame=self.min_blame,
                 include_temps=self.include_temps,
+                unknown_samples=pm.n_unknown,
             ),
             stats=stats,
+            unknown_by_reason=pm.unknown_by_reason(),
+            quarantine_by_reason=quarantine_reasons,
         )
         return ProfileResult(
             module=self.module,
@@ -175,6 +213,7 @@ class Profiler:
             attribution=attribution,
             report=report,
             interpreter=interp,
+            fault_stats=injector.stats if injector is not None else None,
         )
 
 

@@ -9,6 +9,7 @@ its type and context of definition."
 from __future__ import annotations
 
 from ..blame.report import BlameReport
+from .degradation import degradation_lines
 from .tables import pct, render_table
 
 
@@ -31,9 +32,11 @@ def render_data_centric(
         f"Data-centric view: {report.program} "
         f"({report.stats.user_samples} samples)"
     )
-    return render_table(
+    table = render_table(
         ["Name", "Type", "Blame", "Context"],
         rows,
         title=title,
         aligns=["l", "l", "r", "l"],
     )
+    notes = degradation_lines(report)
+    return table + ("\n" + "\n".join(notes) if notes else "")

@@ -14,6 +14,7 @@ import html
 
 from ..blame.report import BlameReport
 from .code_centric import build_code_centric
+from .degradation import degradation_lines
 from .hybrid import build_blame_points
 
 _STYLE = """
@@ -30,6 +31,8 @@ td.num { text-align: right; font-variant-numeric: tabular-nums; }
 .bar { display: inline-block; height: 0.7em; background: #4a6fa5;
        vertical-align: baseline; margin-right: 0.4em; }
 .temp { color: #999; }
+.degraded { border-left: 4px solid #c0392b; padding-left: 1em;
+            margin-top: 1.4em; }
 footer { margin-top: 2em; font-size: 0.8em; color: #777; }
 """
 
@@ -89,6 +92,14 @@ def render_html_report(result, top: int = 25, min_blame: float = 0.005) -> str:
         )
 
     stats = report.stats
+    notes = degradation_lines(report)
+    degradation_html = (
+        '<div class="degraded"><h2>degraded telemetry</h2><ul>'
+        + "".join(f"<li>{_esc(n.lstrip('! '))}</li>" for n in notes)
+        + "</ul></div>"
+        if notes
+        else ""
+    )
     return f"""<!DOCTYPE html>
 <html><head><meta charset="utf-8">
 <title>blame profile — {_esc(report.program)}</title>
@@ -112,6 +123,7 @@ def render_html_report(result, top: int = 25, min_blame: float = 0.005) -> str:
 </div>
 </div>
 {"".join(points_html)}
+{degradation_html}
 <footer>
 {stats.total_raw_samples} raw samples ({stats.user_samples} user,
 {stats.runtime_samples} runtime) · simulated wall

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from ..blame.report import BlameReport, BlameRow
+from .degradation import degradation_lines
 from .tables import pct, render_table
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
@@ -86,4 +87,8 @@ def render_hybrid(
             f"  advice [{f.rule}] {f.where} ({f.function}): {f.message}"
             for f in leftovers
         )
+    notes = degradation_lines(report)
+    if notes:
+        sections.append("")
+        sections.extend(notes)
     return "\n".join(sections)

@@ -1,0 +1,175 @@
+"""Gluing edge cases: lost spawn records, ambiguity, tag collisions.
+
+These exercise the tolerant post-mortem's recovery pass on hand-crafted
+degradations of a real run — the situations a lossy collector produces:
+a spawn record that never made it to the monitor, a pre-spawn stack
+that no longer suffix-matches anything intact, idle-thread samples in a
+degraded stream, and duplicate (wrapped-around) spawn tags.
+"""
+
+import os
+import sys
+from dataclasses import replace
+
+from repro.blame.postmortem import (
+    REASON_LOST_TAG,
+    REASON_TRUNCATED,
+    process_samples,
+)
+from repro.sampling.records import RawSample
+
+sys.path.insert(0, os.path.dirname(os.path.dirname(__file__)))
+from conftest import profile_src
+
+SRC = """
+var A: [0..99] real;
+var B: [0..99] real;
+proc kernel() {
+  forall i in 0..99 { A[i] = sqrt(i * 1.0) + i * 0.25; }
+}
+proc other() {
+  forall i in 0..99 { B[i] = i * 2.0; }
+}
+proc main() { kernel(); other(); }
+"""
+
+
+def _run():
+    """One clean profile; returns (module, options, busy raw samples)."""
+    res = profile_src(SRC, threshold=211)
+    busy = [s for s in res.monitor.samples if not s.is_idle]
+    return res.module, res.static_info.options, busy
+
+
+def _spawned(samples, fn="forall_fn_chpl1"):
+    return [s for s in samples if s.stack[0][0] == fn and s.spawn_tag is not None]
+
+
+class TestMissingSpawnRecord:
+    def test_recovered_from_intact_siblings(self):
+        # The spawn record for one worker sample is lost entirely (no
+        # tag, no pre-spawn) but intact samples of the same outlined
+        # body pin down a unique pre-spawn stack.
+        module, options, busy = _run()
+        victim = _spawned(busy)[0]
+        degraded = replace(victim, spawn_tag=None, pre_spawn_stack=None)
+        pm = process_samples(
+            module, busy + [degraded], options=options, tolerant=True
+        )
+        assert pm.n_recovered >= 1 and not pm.unknown
+        rec = [i for i in pm.instances if i.was_recovered]
+        assert rec and all(i.frames[-1][0] == "main" for i in rec)
+
+    def test_without_siblings_lands_in_unknown(self):
+        # No other sample of that outlined function exists: nothing to
+        # glue against, so the sample is explicitly unattributable.
+        module, options, busy = _run()
+        victim = _spawned(busy)[0]
+        degraded = replace(victim, spawn_tag=None, pre_spawn_stack=None)
+        pm = process_samples(module, [degraded], options=options, tolerant=True)
+        assert pm.n_user == 0
+        assert [d.reason for d in pm.unknown] == [REASON_LOST_TAG]
+
+    def test_ambiguous_pre_spawn_is_not_guessed(self):
+        # The same outlined body glued from TWO distinct pre-spawn
+        # stacks in this run: a tagless sample of it must NOT be
+        # attributed to either (a wrong guess is silent misblame).
+        module, options, busy = _run()
+        a = _spawned(busy, "forall_fn_chpl1")[0]
+        b = _spawned(busy, "forall_fn_chpl2")[0]
+        # Forge a second spawn context for chpl1: same worker stack,
+        # different (real, complete) pre-spawn path via `other`.
+        forged = replace(
+            a, spawn_tag=777, pre_spawn_stack=b.pre_spawn_stack
+        )
+        degraded = replace(a, spawn_tag=None, pre_spawn_stack=None)
+        pm = process_samples(
+            module, [a, forged, degraded], options=options, tolerant=True
+        )
+        assert [d.reason for d in pm.unknown] == [REASON_LOST_TAG]
+        assert all(not i.was_recovered for i in pm.instances)
+
+
+class TestTruncatedContinuations:
+    def test_unique_continuation_recovered(self):
+        # Walker died mid-walk on a main-task sample; every intact path
+        # through the surviving deepest frame continues identically.
+        module, options, busy = _run()
+        main_task = [s for s in busy if s.spawn_tag is None and len(s.stack) >= 2]
+        assert main_task
+        victim = main_task[0]
+        degraded = replace(victim, stack=victim.stack[:-1])
+        pm = process_samples(
+            module, busy + [degraded], options=options, tolerant=True
+        )
+        assert pm.n_recovered >= 1 and not pm.unknown
+
+    def test_non_suffix_matching_continuation_is_unknown(self):
+        # The truncated frame's continuation is ambiguous across intact
+        # paths — suffix matching must refuse rather than pick one.
+        module, options, busy = _run()
+        victim = next(
+            s for s in busy if s.spawn_tag is None and len(s.stack) >= 2
+        )
+        deepest = victim.stack[0]
+        alt = RawSample(
+            index=9000,
+            thread_id=0,
+            task_id=0,
+            stack=(deepest, ("other", victim.stack[-1][1]),
+                   victim.stack[-1]),
+            leaf_iid=deepest[1],
+            spawn_tag=None,
+            pre_spawn_stack=None,
+        )
+        degraded = replace(victim, index=9001, stack=(deepest,))
+        pm = process_samples(
+            module, [victim, alt, degraded], options=options, tolerant=True
+        )
+        assert REASON_TRUNCATED in [d.reason for d in pm.unknown]
+
+
+class TestIdleAndDuplicateTags:
+    def test_idle_samples_stay_runtime_under_degradation(self):
+        # Idle-thread samples in a degraded stream are runtime context,
+        # never quarantined and never `<unknown>`.
+        module, options, busy = _run()
+        idle = [
+            RawSample(5000 + i, i % 4, -1, (("__sched_yield", -1),), -1,
+                      None, None, is_idle=True)
+            for i in range(8)
+        ]
+        degraded = replace(
+            _spawned(busy)[0], spawn_tag=None, pre_spawn_stack=None
+        )
+        pm = process_samples(
+            module, idle + busy + [degraded], options=options, tolerant=True
+        )
+        assert len(pm.runtime_samples) == len(idle)
+        assert all(s.is_idle for s in pm.runtime_samples)
+        assert not pm.quarantined
+
+    def test_duplicate_spawn_tags_glue_deterministically(self):
+        # Tag collision (16-bit tags wrap in long runs): two intact
+        # spawn records share a tag but carry different pre-spawns.
+        # Recovery through that tag must be deterministic — the first
+        # intact path learned wins, and the result is still complete.
+        module, options, busy = _run()
+        a = _spawned(busy, "forall_fn_chpl1")[0]
+        b = _spawned(busy, "forall_fn_chpl2")[0]
+        a2 = replace(a, spawn_tag=42)
+        b2 = replace(b, spawn_tag=42)
+        degraded = replace(a, index=9100, spawn_tag=42, pre_spawn_stack=None)
+        stream = [a2, b2, degraded]
+        runs = [
+            process_samples(module, stream, options=options, tolerant=True)
+            for _ in range(2)
+        ]
+        for pm in runs:
+            rec = [i for i in pm.instances if i.was_recovered]
+            assert len(rec) == 1
+            # Glued to the first-learned pre-spawn for tag 42 (a2's).
+            assert rec[0].frames == tuple(
+                list(degraded.stack) + list(a2.pre_spawn_stack)
+            )
+        assert runs[0].instances == runs[1].instances

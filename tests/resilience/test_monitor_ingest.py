@@ -1,0 +1,74 @@
+"""Monitor ingest validation: malformed samples die at the door."""
+
+from repro.sampling.monitor import STACKWALK_CYCLES, Monitor
+from repro.sampling.pmu import PMUConfig
+from repro.sampling.records import RawSample
+
+
+class _Thread:
+    def __init__(self):
+        self.thread_id = 0
+        self.clock = 0.0
+
+
+class _Task:
+    task_id = 1
+    is_main = True
+    spawn = None
+
+
+def _monitor():
+    return Monitor(PMUConfig(threshold=211))
+
+
+class TestIngestValidation:
+    def test_empty_stack_rejected_at_ingest(self):
+        m = _monitor()
+        m.take_sample(_Thread(), _Task(), [], 5)
+        assert m.n_samples == 0 and m.n_quarantined == 1
+        assert m.quarantine_by_reason() == {"empty-stack": 1}
+
+    def test_negative_leaf_iid_rejected_at_ingest(self):
+        m = _monitor()
+        m.take_sample(_Thread(), _Task(), [("kernel", 5)], -3)
+        assert m.n_samples == 0 and m.n_quarantined == 1
+        assert m.quarantine_by_reason() == {"negative-leaf-iid": 1}
+
+    def test_well_formed_sample_accepted(self):
+        m = _monitor()
+        m.take_sample(_Thread(), _Task(), [("kernel", 5), ("main", 1)], 5)
+        assert m.n_samples == 1 and m.n_quarantined == 0
+
+    def test_idle_sample_exempt_from_validation(self):
+        # Idle samples legitimately carry iid -1 on a synthetic frame.
+        m = _monitor()
+        m.take_sample(_Thread(), None, [("__sched_yield", -1)], -1)
+        assert m.n_samples == 1 and m.n_quarantined == 0
+        assert m.samples[0].is_idle
+
+    def test_quarantined_sample_still_charged_for_the_walk(self):
+        # The stack walk happened before validation could reject the
+        # record, so its overhead lands on the thread either way.
+        m = _monitor()
+        t = _Thread()
+        m.take_sample(t, _Task(), [], 5)
+        assert t.clock == STACKWALK_CYCLES
+        assert m.overhead.n_samples == 1
+
+    def test_quarantined_record_kept_for_diagnosis(self):
+        m = _monitor()
+        m.take_sample(_Thread(), _Task(), [("kernel", 5)], -3)
+        q = m.quarantined[0]
+        assert q.reason == "negative-leaf-iid"
+        assert q.sample.leaf_iid == -3 and not q.sample.is_idle
+
+    def test_validate_is_pure_and_reusable(self):
+        # The postmortem's tolerant path reuses the same predicate.
+        good = RawSample(0, 0, 1, (("f", 2),), 2, None, None)
+        assert Monitor.validate(good) is None
+        assert Monitor.validate(
+            RawSample(0, 0, 1, (), 2, None, None)
+        ) == "empty-stack"
+        assert Monitor.validate(
+            RawSample(0, 0, 1, (("f", 2),), -9, None, None)
+        ) == "negative-leaf-iid"

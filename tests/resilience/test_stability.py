@@ -1,0 +1,110 @@
+"""Stability metrics: ranking, top-N overlap, Kendall-tau."""
+
+from repro.blame.report import BlameReport, BlameRow, RunStats, UNKNOWN_BUCKET
+from repro.resilience.stability import (
+    compare_reports,
+    kendall_tau,
+    ranking,
+    top_n_overlap,
+)
+
+
+def _report(names, unknown=0, total=100):
+    rows = [
+        BlameRow(
+            name=n,
+            type_str="real",
+            context="main",
+            samples=total - 5 * i,
+            blame=(total - 5 * i) / total,
+            is_path=False,
+        )
+        for i, n in enumerate(names)
+    ]
+    if unknown:
+        rows.append(
+            BlameRow(
+                name=UNKNOWN_BUCKET,
+                type_str="-",
+                context=UNKNOWN_BUCKET,
+                samples=unknown,
+                blame=unknown / total,
+                is_path=False,
+            )
+        )
+    return BlameReport(
+        program="t.chpl",
+        rows=rows,
+        stats=RunStats(
+            total_raw_samples=total,
+            user_samples=total - unknown,
+            runtime_samples=0,
+            wall_seconds=0.0,
+            dataset_bytes=0,
+            stackwalk_cycles=0.0,
+            unknown_samples=unknown,
+        ),
+    )
+
+
+class TestRanking:
+    def test_unknown_bucket_excluded(self):
+        rep = _report(["a", "b"], unknown=40)
+        assert ranking(rep) == ["main::a", "main::b"]
+
+    def test_limit(self):
+        rep = _report(["a", "b", "c", "d"])
+        assert ranking(rep, 2) == ["main::a", "main::b"]
+
+
+class TestOverlap:
+    def test_identical(self):
+        a = _report(["a", "b", "c", "d", "e"])
+        assert top_n_overlap(a, a) == 1.0
+
+    def test_disjoint(self):
+        a = _report(["a", "b", "c", "d", "e"])
+        b = _report(["v", "w", "x", "y", "z"])
+        assert top_n_overlap(a, b) == 0.0
+
+    def test_partial(self):
+        a = _report(["a", "b", "c", "d", "e"])
+        b = _report(["a", "b", "c", "y", "z"])
+        assert top_n_overlap(a, b) == 0.6
+
+    def test_empty_clean_report(self):
+        assert top_n_overlap(_report([]), _report(["a"])) == 1.0
+
+
+class TestKendallTau:
+    def test_same_order(self):
+        a = _report(["a", "b", "c", "d"])
+        assert kendall_tau(a, a) == 1.0
+
+    def test_reversed_order(self):
+        a = _report(["a", "b", "c", "d"])
+        b = _report(["d", "c", "b", "a"])
+        assert kendall_tau(a, b) == -1.0
+
+    def test_single_common_row_is_neutral(self):
+        a = _report(["a", "b"])
+        b = _report(["a", "z"])
+        assert kendall_tau(a, b) == 1.0
+
+    def test_one_swap(self):
+        a = _report(["a", "b", "c"])
+        b = _report(["b", "a", "c"])
+        # 3 pairs, 1 discordant: (2 - 1) / 3
+        assert abs(kendall_tau(a, b) - 1 / 3) < 1e-9
+
+
+class TestComparePoints:
+    def test_point_fields(self):
+        clean = _report(["a", "b", "c", "d", "e"])
+        degraded = _report(["a", "b", "c", "d", "z"], unknown=10)
+        p = compare_reports("drop", 0.1, clean, degraded)
+        assert p.fault == "drop" and p.rate == 0.1 and p.completed
+        assert p.top5_overlap == 0.8
+        assert p.unknown_rate == 10 / 100
+        d = p.as_dict()
+        assert d["fault"] == "drop" and d["top5_overlap"] == 0.8
