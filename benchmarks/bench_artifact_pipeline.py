@@ -1,0 +1,161 @@
+"""A1 — Artifact pipeline throughput and the run-once dividend.
+
+Measures, per paper workload:
+
+* ``profile``      — one full live profile (the run you pay for once);
+* ``write``        — serializing its snapshot to ``.cbp``;
+* ``read``         — loading + validating the artifact back;
+* ``render_live``  — rendering all text views from the live result;
+* ``render_cbp``   — rendering the same views from the loaded artifact.
+
+The point of the staged pipeline is that every re-render costs
+``read + render`` instead of ``profile + render``; the recorded
+``rerender_speedup`` quantifies that.  Write/read throughput (MB/s over
+the artifact's own size) lands in ``BENCH_artifact.json`` at the
+repository root, next to ``BENCH_pipeline.json``.
+
+Run directly (``python benchmarks/bench_artifact_pipeline.py``) or via
+pytest; the pytest smoke only asserts sanity floors (artifact renders
+must be byte-identical and re-rendering must beat re-profiling), never
+absolute host speed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.artifact import (
+    artifact_bytes,
+    read_artifact,
+    snapshot_from_result,
+    write_artifact,
+)
+from repro.bench.programs import clomp, lulesh, minimd
+from repro.pipeline import render_stage
+from repro.tooling.profiler import Profiler
+
+NUM_THREADS = 12
+THRESHOLD = 4999
+RESULT_PATH = os.path.join(
+    os.path.dirname(__file__), "..", "BENCH_artifact.json"
+)
+
+WORKLOADS = {
+    "minimd": ("minimd.chpl", lambda: minimd.build_source(), minimd.config_for),
+    "clomp": ("clomp.chpl", lambda: clomp.build_source(), clomp.config_for),
+    "lulesh": ("lulesh.chpl", lambda: lulesh.build_source(), lulesh.config_for),
+}
+
+VIEWS = ("data", "code", "hybrid", "html")
+
+#: Repetitions for the cheap I/O stages (best-of; deterministic work).
+ROUNDS = 3
+
+
+def _timed(fn) -> tuple[float, object]:
+    t0 = time.perf_counter()
+    out = fn()
+    return time.perf_counter() - t0, out
+
+
+def _best_of(fn) -> tuple[float, object]:
+    best, keep = float("inf"), None
+    for _ in range(ROUNDS):
+        t, out = _timed(fn)
+        if t < best:
+            best, keep = t, out
+    return best, keep
+
+
+def measure_workload(name: str, tmp_dir: str) -> dict:
+    filename, build, config_for = WORKLOADS[name]
+    source = build()
+    config = config_for()
+
+    profiler = Profiler(
+        source,
+        filename=filename,
+        config=config,
+        num_threads=NUM_THREADS,
+        threshold=THRESHOLD,
+    )
+    t_profile, result = _timed(profiler.profile)
+    snapshot = snapshot_from_result(result)
+    size = len(artifact_bytes(snapshot))
+    path = os.path.join(tmp_dir, f"{name}.cbp")
+
+    t_write, _ = _best_of(lambda: write_artifact(path, snapshot))
+    t_read, loaded = _best_of(lambda: read_artifact(path))
+
+    t_render_live, live_views = _best_of(
+        lambda: [render_stage(result, v) for v in VIEWS]
+    )
+    t_render_cbp, cbp_views = _best_of(
+        lambda: [render_stage(loaded, v) for v in VIEWS]
+    )
+    assert cbp_views == live_views, f"{name}: artifact views diverged"
+
+    return {
+        "artifact_bytes": size,
+        "profile_seconds": round(t_profile, 4),
+        "write_seconds": round(t_write, 5),
+        "read_seconds": round(t_read, 5),
+        "render_live_seconds": round(t_render_live, 5),
+        "render_cbp_seconds": round(t_render_cbp, 5),
+        "write_mb_per_s": round(size / max(t_write, 1e-9) / 1e6, 2),
+        "read_mb_per_s": round(size / max(t_read, 1e-9) / 1e6, 2),
+        # run-once dividend: re-render from artifact vs re-profile live.
+        "rerender_speedup": round(
+            (t_profile + t_render_live) / max(t_read + t_render_cbp, 1e-9), 1
+        ),
+    }
+
+
+def run_artifact_bench(tmp_dir: str | None = None) -> dict:
+    import tempfile
+
+    own = tmp_dir is None
+    ctx = tempfile.TemporaryDirectory() if own else None
+    use_dir = ctx.name if own else tmp_dir
+    try:
+        results = {
+            "config": {"num_threads": NUM_THREADS, "threshold": THRESHOLD},
+            "workloads": {
+                name: measure_workload(name, use_dir) for name in WORKLOADS
+            },
+        }
+    finally:
+        if ctx is not None:
+            ctx.cleanup()
+    with open(os.path.abspath(RESULT_PATH), "w") as f:
+        json.dump(results, f, indent=2)
+        f.write("\n")
+    return results
+
+
+def render(results: dict) -> str:
+    lines = ["artifact pipeline (write/read MB/s, re-render speedup)"]
+    for name, r in results["workloads"].items():
+        lines.append(
+            f"  {name:7s} {r['artifact_bytes']:8d} B  "
+            f"write {r['write_mb_per_s']:7.2f} MB/s  "
+            f"read {r['read_mb_per_s']:7.2f} MB/s  "
+            f"re-render {r['rerender_speedup']:6.1f}x vs re-profile"
+        )
+    return "\n".join(lines)
+
+
+def test_artifact_throughput(tmp_path):
+    results = run_artifact_bench(str(tmp_path))
+    print("\n" + render(results))
+    for name, r in results["workloads"].items():
+        assert r["artifact_bytes"] > 0
+        # Rendering from the artifact must beat re-running the program
+        # by a wide margin — that is the whole design.
+        assert r["rerender_speedup"] > 5, f"{name}: {r['rerender_speedup']}x"
+
+
+if __name__ == "__main__":
+    print(render(run_artifact_bench()))

@@ -1,0 +1,123 @@
+"""Merging profile artifacts (per-locale or per-run shards).
+
+The multi-locale harness now aggregates *through* this module: each
+locale's run becomes a :class:`~repro.artifact.model.ProfileSnapshot`
+(optionally persisted as ``.cbp``), and the program-wide report is the
+merge of those snapshots.  The blame math itself is unchanged — row
+counts combine exactly as :func:`repro.blame.aggregate.merge_reports`
+always combined them — the artifact layer adds the instance streams,
+function catalogs, and degradation provenance so the merged profile
+still renders every view (including code-centric, which needs
+instances) without re-running anything.
+"""
+
+from __future__ import annotations
+
+from ..blame.aggregate import merge_reports
+from ..errors import ArtifactError
+from .model import (
+    ArtifactMeta,
+    FunctionCatalog,
+    ProfileSnapshot,
+    SnapshotPostmortem,
+)
+
+#: Fault-injection counters that sum across shards.
+_FAULT_COUNTERS = (
+    "examined", "dropped", "corrupted", "truncated", "tags_lost", "stripped",
+)
+
+
+def _merge_fault_stats(snaps: list[ProfileSnapshot]) -> dict | None:
+    present = [s.fault_stats for s in snaps if s.fault_stats]
+    if not present:
+        return None
+    out: dict = {k: 0 for k in _FAULT_COUNTERS}
+    stripped: set[str] = set()
+    for fs in present:
+        for k in _FAULT_COUNTERS:
+            out[k] += int(fs.get(k, 0))
+        stripped.update(fs.get("stripped_functions", ()))
+    out["stripped_functions"] = sorted(stripped)
+    return out
+
+
+def merge_snapshots(
+    snapshots: list[ProfileSnapshot],
+    program: str | None = None,
+    missing_locales: tuple[int, ...] = (),
+) -> ProfileSnapshot:
+    """Merges per-locale/per-run snapshots into one program-wide snapshot.
+
+    ``missing_locales`` (locales that crashed or timed out and produced
+    no artifact) is carried onto the merged report exactly as the
+    in-memory aggregation always carried it.  A single snapshot with no
+    missing locales merges to itself — the single-locale base case stays
+    the identity it has always been.
+
+    Snapshots recorded from *different* program sources refuse to merge
+    (that is a job for :mod:`repro.artifact.diff`, not aggregation).
+    """
+    if not snapshots:
+        raise ArtifactError(
+            "no artifacts to merge"
+            + (
+                f" (missing locales: {sorted(missing_locales)})"
+                if missing_locales
+                else ""
+            )
+        )
+    digests = {
+        s.meta.source_sha256
+        for s in snapshots
+        if s.meta.source_sha256 is not None
+    }
+    if len(digests) > 1:
+        raise ArtifactError(
+            "refusing to merge artifacts recorded from different sources: "
+            + ", ".join(sorted(d[:12] + "…" for d in digests))
+        )
+    if len(snapshots) == 1 and not missing_locales:
+        return snapshots[0]
+
+    merged_report = merge_reports(
+        [s.report for s in snapshots],
+        program=program,
+        missing_locales=missing_locales,
+    )
+
+    catalog = snapshots[0].catalog
+    for s in snapshots[1:]:
+        catalog = catalog.union(s.catalog)
+
+    instances = [i for s in snapshots for i in s.postmortem.instances]
+    postmortem = SnapshotPostmortem(
+        instances=instances,
+        n_raw=sum(s.postmortem.n_raw for s in snapshots),
+        n_runtime=sum(s.postmortem.n_runtime for s in snapshots),
+        n_recovered=sum(s.postmortem.n_recovered for s in snapshots),
+        unknown_provenance=[
+            p for s in snapshots for p in s.postmortem.unknown_provenance
+        ],
+        quarantine_provenance=[
+            p for s in snapshots for p in s.postmortem.quarantine_provenance
+        ],
+    )
+
+    first = snapshots[0].meta
+    meta = ArtifactMeta(
+        program=program or merged_report.program,
+        source_sha256=next(iter(digests)) if digests else None,
+        threshold=first.threshold,
+        num_threads=first.num_threads,
+        locale_id=-1,
+        kind="merged",
+        created_by=first.created_by,
+    )
+    return ProfileSnapshot(
+        meta=meta,
+        report=merged_report,
+        catalog=catalog,
+        postmortem=postmortem,
+        fault_stats=_merge_fault_stats(snapshots),
+    )

@@ -1,0 +1,240 @@
+"""In-memory form of the ``.cbp`` profile artifact.
+
+A :class:`ProfileSnapshot` holds everything the presentation layer
+consumes — the blame report, the consolidated instances, a function
+catalog standing in for the IR module, degradation provenance, and run
+metadata — with no reference to the interpreter, monitor, or IR that
+produced it.  The render functions in :mod:`repro.views` accept it
+anywhere they accept a live :class:`~repro.tooling.profiler.ProfileResult`
+(it exposes the same ``report`` / ``module`` / ``postmortem``
+attributes), which is what makes artifact-rendered views byte-identical
+to live ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..blame.postmortem import Instance
+from ..blame.report import BlameReport
+
+
+@dataclass(frozen=True)
+class CatalogFunction:
+    """The slice of :class:`repro.ir.module.Function` the views consult."""
+
+    name: str
+    source_name: str
+    outlined_from: str | None = None
+    is_artificial: bool = False
+
+
+class FunctionCatalog:
+    """Module-shaped lookup for display-name resolution.
+
+    The code-centric view (and the attribution display logic before it)
+    only ever asks a module three questions about a function: its
+    user-visible ``source_name``, which function it was ``outlined_from``,
+    and whether it ``is_artificial``.  The catalog answers those without
+    the IR, so a loaded artifact renders the same views a live module
+    does.
+    """
+
+    def __init__(self, functions: "list[CatalogFunction] | tuple[CatalogFunction, ...]" = ()) -> None:
+        self._functions: dict[str, CatalogFunction] = {f.name: f for f in functions}
+
+    @classmethod
+    def from_module(cls, module) -> "FunctionCatalog":
+        return cls(
+            [
+                CatalogFunction(
+                    name=f.name,
+                    source_name=f.source_name,
+                    outlined_from=f.outlined_from,
+                    is_artificial=f.is_artificial,
+                )
+                for f in module.functions.values()
+            ]
+        )
+
+    def get_function(self, name: str) -> CatalogFunction | None:
+        return self._functions.get(name)
+
+    def entries(self) -> list[CatalogFunction]:
+        """Deterministic (name-sorted) listing for serialization."""
+        return sorted(self._functions.values(), key=lambda f: f.name)
+
+    def union(self, other: "FunctionCatalog") -> "FunctionCatalog":
+        """Merged catalog; on a name collision the first entry wins
+        (per-locale artifacts of one program have identical catalogs)."""
+        merged = dict(other._functions)
+        merged.update(self._functions)
+        return FunctionCatalog(list(merged.values()))
+
+    def __len__(self) -> int:
+        return len(self._functions)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, FunctionCatalog)
+            and self._functions == other._functions
+        )
+
+
+@dataclass
+class SnapshotPostmortem:
+    """Post-mortem outcome as stored in an artifact.
+
+    Mirrors the attributes of
+    :class:`~repro.blame.postmortem.PostmortemResult` that the views
+    read, but carries *counts* for the raw/runtime streams instead of
+    the streams themselves — the artifact persists consolidated
+    instances, not raw samples (those belong to the sample dataset /
+    journal written by ``--save-samples``).
+    """
+
+    instances: list[Instance]
+    n_raw: int = 0
+    n_runtime: int = 0
+    n_recovered: int = 0
+    #: (reason, sample index) per unattributable sample.
+    unknown_provenance: list[tuple[str, int]] = field(default_factory=list)
+    #: (reason, sample index) per quarantined sample (ingest + postmortem).
+    quarantine_provenance: list[tuple[str, int]] = field(default_factory=list)
+
+    @property
+    def n_user(self) -> int:
+        return len(self.instances)
+
+    @property
+    def n_unknown(self) -> int:
+        return len(self.unknown_provenance)
+
+    def unknown_by_reason(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for reason, _ix in self.unknown_provenance:
+            out[reason] = out.get(reason, 0) + 1
+        return out
+
+    def quarantine_by_reason(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for reason, _ix in self.quarantine_provenance:
+            out[reason] = out.get(reason, 0) + 1
+        return out
+
+
+@dataclass(frozen=True)
+class ArtifactMeta:
+    """Run identity and configuration recorded in the artifact header."""
+
+    program: str
+    source_sha256: str | None = None
+    threshold: int = 0
+    num_threads: int = 0
+    locale_id: int = 0
+    kind: str = "profile"  # "profile" | "merged"
+    created_by: str = ""
+
+
+@dataclass
+class ProfileSnapshot:
+    """One profiled run (or merge of runs), detached from its producer."""
+
+    meta: ArtifactMeta
+    report: BlameReport
+    catalog: FunctionCatalog
+    postmortem: SnapshotPostmortem
+    #: Injection summary when the run was deliberately degraded
+    #: (:meth:`repro.resilience.inject.InjectionStats.as_dict` form).
+    fault_stats: dict | None = None
+
+    @property
+    def module(self) -> FunctionCatalog:
+        """Alias so the snapshot satisfies the ``result.module`` shape
+        the HTML renderer and code-centric view expect."""
+        return self.catalog
+
+    @property
+    def wall_seconds(self) -> float:
+        return self.report.stats.wall_seconds
+
+    @property
+    def quarantine_rate(self) -> float:
+        """Same accounting as ``ProfileResult.quarantine_rate``."""
+        total = (
+            self.report.stats.total_raw_samples
+            + self.report.stats.quarantined_samples
+        )
+        return self.report.stats.quarantined_samples / total if total else 0.0
+
+
+def _tool_version() -> str:
+    try:
+        from importlib.metadata import version
+
+        return version("repro")
+    except Exception:  # not installed (src checkout on PYTHONPATH)
+        from .. import __version__
+
+        return __version__
+
+
+def snapshot_from_result(
+    result,
+    source_sha256: str | None = None,
+    threshold: int | None = None,
+    num_threads: int | None = None,
+    locale_id: int | None = None,
+) -> ProfileSnapshot:
+    """Builds the artifact model from a live
+    :class:`~repro.tooling.profiler.ProfileResult`.
+
+    The snapshot *references* the result's report (it does not copy it),
+    so rendering from the snapshot is rendering from the identical
+    object — the cheap end of the byte-identity guarantee.
+    """
+    pm = result.postmortem
+    unknown = [(d.reason, d.sample.index) for d in pm.unknown]
+    quarantined = [(d.reason, d.sample.index) for d in pm.quarantined]
+    monitor = result.monitor
+    if monitor is not None:
+        quarantined += [(q.reason, q.sample.index) for q in monitor.quarantined]
+    if threshold is None and monitor is not None:
+        threshold = monitor.pmu.threshold
+    if num_threads is None:
+        num_threads = getattr(result.interpreter, "num_threads", 0) or 0
+    meta = ArtifactMeta(
+        program=result.report.program,
+        source_sha256=source_sha256,
+        threshold=threshold or 0,
+        num_threads=num_threads,
+        locale_id=result.report.locale_id if locale_id is None else locale_id,
+        kind="profile",
+        created_by=f"repro {_tool_version()}",
+    )
+    fault_stats = None
+    if result.fault_stats is not None:
+        fault_stats = (
+            result.fault_stats.as_dict()
+            if hasattr(result.fault_stats, "as_dict")
+            else dict(result.fault_stats)
+        )
+    return ProfileSnapshot(
+        meta=meta,
+        report=result.report,
+        catalog=FunctionCatalog.from_module(result.module),
+        postmortem=SnapshotPostmortem(
+            instances=list(pm.instances),
+            n_raw=pm.n_raw,
+            n_runtime=pm.n_runtime,
+            n_recovered=pm.n_recovered,
+            unknown_provenance=unknown,
+            quarantine_provenance=quarantined,
+        ),
+        fault_stats=fault_stats,
+    )
+
+
+def relabel(meta: ArtifactMeta, **changes) -> ArtifactMeta:
+    """Frozen-dataclass update helper (used by merge)."""
+    return replace(meta, **changes)

@@ -22,6 +22,17 @@ telemetry instead of mis-attributing it:
 
 On a clean stream the tolerant pipeline is a zero-cost abstraction: it
 produces bit-identical instances to strict mode.
+
+Processing is **streaming**: :class:`PostmortemConsumer` is a
+single-pass incremental consumer over sample batches — feed it batches
+as the monitor hands them over and call :meth:`~PostmortemConsumer.finish`
+once, so no stage ever needs the whole ``list[RawSample]`` resident.
+The recovery evidence (spawn-tag index, continuation suffixes) is
+accumulated incrementally from intact instances as they are emitted;
+degraded candidates wait in a held-back buffer that the
+``evidence_window`` parameter bounds.  :func:`process_samples` is the
+one-shot wrapper (one batch, unbounded window) and behaves exactly as
+it always has.
 """
 
 from __future__ import annotations
@@ -77,7 +88,8 @@ class PostmortemResult:
     """Outcome of post-mortem processing."""
 
     instances: list[Instance]
-    #: Idle / pure-runtime samples (kept for the code-centric view).
+    #: Idle / pure-runtime samples (kept for the code-centric view;
+    #: empty in bounded-memory streaming mode — see ``n_runtime``).
     runtime_samples: list[RawSample]
     n_raw: int
     #: Unattributable samples, by provenance (tolerant mode only).
@@ -86,6 +98,9 @@ class PostmortemResult:
     quarantined: list[DegradedSample] = field(default_factory=list)
     #: Instances whose call path was repaired by suffix-match recovery.
     n_recovered: int = 0
+    #: Count of runtime/idle samples (== ``len(runtime_samples)`` unless
+    #: the consumer ran with ``keep_runtime_samples=False``).
+    n_runtime: int = 0
 
     @property
     def n_user(self) -> int:
@@ -126,55 +141,137 @@ class _Candidate:
     had_stripped: bool
 
 
-def process_samples(
-    module: Module,
-    samples: list[RawSample],
-    options: object | None = None,
-    tolerant: bool = False,
-) -> PostmortemResult:
-    """Runs stack consolidation over a raw sample stream."""
-    from .options import FULL
+class PostmortemConsumer:
+    """Single-pass incremental consumer over raw sample batches.
 
-    options = options or FULL
-    resolver = StackResolver(module)
-    instances: list[Instance] = []
-    runtime: list[RawSample] = []
-    quarantined: list[DegradedSample] = []
-    unknown: list[DegradedSample] = []
-    candidates: list[_Candidate] = []
-    n_repaired = 0
-    #: tag → pre-spawn stack, learned from intact samples (recovery).
-    tag_index: dict[int, tuple[tuple[str, int], ...]] = {}
+    Feed batches in collection order with :meth:`feed`; call
+    :meth:`finish` exactly once to resolve held-back degraded
+    candidates and obtain the :class:`PostmortemResult`.  With the
+    default settings the result is bit-identical to the historical
+    whole-list :func:`process_samples` on the same stream.
 
-    def emit(s: RawSample, frames: list[tuple[str, int]], glued: bool,
-             recovered: bool = False) -> None:
-        resolved = resolver.resolve_stack(tuple(frames))
-        instances.append(
-            Instance(
-                index=s.index,
-                thread_id=s.thread_id,
-                frames=tuple(frames),
-                locations=tuple((r.filename, r.line) for r in resolved),
-                was_glued=glued,
-                spawn_tag=s.spawn_tag,
-                was_recovered=recovered,
+    Memory behaviour:
+
+    * intact samples are consolidated and released immediately — only
+      the emitted :class:`Instance` (and the deduplicated recovery
+      evidence derived from it) survives the batch;
+    * degraded samples wait in a held-back candidate buffer.
+      ``evidence_window`` bounds that buffer: when more than this many
+      candidates are pending, the oldest are resolved early against the
+      evidence collected so far (best-effort — evidence that would only
+      arrive later in the run cannot repair an early-flushed sample).
+      ``None`` (the default) holds all candidates to the end, matching
+      the one-shot semantics exactly;
+    * ``keep_runtime_samples=False`` additionally drops idle/runtime
+      samples after counting them (the views only use the count).
+    """
+
+    def __init__(
+        self,
+        module: Module,
+        options: object | None = None,
+        tolerant: bool = False,
+        evidence_window: int | None = None,
+        keep_runtime_samples: bool = True,
+    ) -> None:
+        from .options import FULL
+
+        self.module = module
+        self.options = options or FULL
+        self.tolerant = tolerant
+        if evidence_window is not None and evidence_window < 1:
+            raise ValueError("evidence_window must be >= 1 (or None)")
+        self.evidence_window = evidence_window
+        self.keep_runtime_samples = keep_runtime_samples
+
+        self._resolver = StackResolver(module)
+        self._instances: list[Instance] = []
+        self._runtime: list[RawSample] = []
+        self._n_runtime = 0
+        self._quarantined: list[DegradedSample] = []
+        self._unknown: list[DegradedSample] = []
+        self._candidates: list[_Candidate] = []
+        self._n_raw = 0
+        self._n_repaired = 0
+        self._n_late_recovered = 0
+        self._finished = False
+        #: tag → pre-spawn stack, learned from intact samples (recovery).
+        self._tag_index: dict[int, tuple[tuple[str, int], ...]] = {}
+        #: outlined function → distinct pre-spawn continuations.
+        self._pre_index: dict[str, set[tuple[tuple[str, int], ...]]] = {}
+        #: frame → distinct continuations below it (suffix gluing).
+        self._cont_index: dict[
+            tuple[str, int], set[tuple[tuple[str, int], ...]]
+        ] = {}
+
+    # -- streaming interface -------------------------------------------------
+
+    @property
+    def pending_candidates(self) -> int:
+        """Degraded samples currently held back for recovery."""
+        return len(self._candidates)
+
+    def feed(self, batch: "list[RawSample] | tuple[RawSample, ...]") -> None:
+        """Consumes one batch of raw samples (collection order)."""
+        if self._finished:
+            raise RuntimeError("PostmortemConsumer.feed() after finish()")
+        for s in batch:
+            self._consume(s)
+        if (
+            self.evidence_window is not None
+            and len(self._candidates) > self.evidence_window
+        ):
+            # Bounded evidence window: resolve the overflow (oldest
+            # first) against whatever evidence exists right now.
+            overflow = len(self._candidates) - self.evidence_window
+            flush, self._candidates = (
+                self._candidates[:overflow],
+                self._candidates[overflow:],
             )
+            for c in flush:
+                self._n_late_recovered += self._resolve_candidate(c)
+
+    def finish(self) -> PostmortemResult:
+        """Resolves remaining candidates and returns the result."""
+        if self._finished:
+            raise RuntimeError("PostmortemConsumer.finish() called twice")
+        self._finished = True
+        for c in self._candidates:
+            self._n_late_recovered += self._resolve_candidate(c)
+        self._candidates = []
+        return PostmortemResult(
+            instances=self._instances,
+            runtime_samples=self._runtime,
+            n_raw=self._n_raw,
+            unknown=self._unknown,
+            quarantined=self._quarantined,
+            n_recovered=self._n_repaired + self._n_late_recovered,
+            n_runtime=self._n_runtime,
         )
 
-    for s in samples:
+    # -- per-sample consolidation (first pass) -------------------------------
+
+    def _consume(self, s: RawSample) -> None:
+        self._n_raw += 1
         if s.is_idle:
-            runtime.append(s)
-            continue
-        if tolerant:
+            self._n_runtime += 1
+            if self.keep_runtime_samples:
+                self._runtime.append(s)
+            return
+        if self.tolerant:
             from ..sampling.monitor import Monitor
 
             flaw = Monitor.validate(s)
             if flaw is not None:
-                quarantined.append(DegradedSample(s, REASON_MALFORMED))
-                continue
+                self._quarantined.append(DegradedSample(s, REASON_MALFORMED))
+                return
         frames = list(s.stack)
         glued = False
-        if options.stack_gluing and s.spawn_tag is not None and s.pre_spawn_stack:
+        if (
+            self.options.stack_gluing
+            and s.spawn_tag is not None
+            and s.pre_spawn_stack
+        ):
             # Glue post-spawn to pre-spawn. The pre-spawn leaf is the
             # SpawnJoin site in the spawning function — it plays the
             # role of the call site for the outlined frame.
@@ -184,27 +281,35 @@ def process_samples(
         # Trim synthetic/artificial frames that carry no user context
         # (e.g. a sample landing in module init keeps that frame only if
         # nothing else remains).
-        had_stripped = tolerant and any(_looks_stripped(f) for f, _ in frames)
+        had_stripped = self.tolerant and any(
+            _looks_stripped(f) for f, _ in frames
+        )
         repaired = False
         if had_stripped:
-            frames, repaired = _repair_stripped(resolver, frames)
-        user_frames = [f for f in frames if _is_user_frame(module, f[0])]
+            frames, repaired = _repair_stripped(self._resolver, frames)
+        user_frames = [
+            f for f in frames if _is_user_frame(self.module, f[0])
+        ]
         if not user_frames:
             # Paper: "when encountering samples of which the post-spawn
             # stack trace has no stack frames from the user code, we
             # trace back to its pre-spawn stack" — already glued above;
             # whatever still has no user frame is runtime-only.
             if had_stripped:
-                candidates.append(_Candidate(s, user_frames, glued, True))
+                self._candidates.append(_Candidate(s, user_frames, glued, True))
             else:
-                runtime.append(s)
-            continue
+                self._n_runtime += 1
+                if self.keep_runtime_samples:
+                    self._runtime.append(s)
+            return
 
-        if tolerant and not _is_complete(module, user_frames):
-            candidates.append(_Candidate(s, user_frames, glued, had_stripped))
-            continue
+        if self.tolerant and not _is_complete(self.module, user_frames):
+            self._candidates.append(
+                _Candidate(s, user_frames, glued, had_stripped)
+            )
+            return
 
-        if tolerant and glued and s.spawn_tag is not None:
+        if self.tolerant and glued and s.spawn_tag is not None:
             # Learn tag → pre-spawn only from *intact* paths (repaired
             # names, complete root), so a truncated or stripped
             # pre-spawn can never poison tag recovery.
@@ -213,25 +318,119 @@ def process_samples(
                 if repaired
                 else tuple(s.pre_spawn_stack)
             )
-            tag_index.setdefault(s.spawn_tag, pre)
+            self._tag_index.setdefault(s.spawn_tag, pre)
         if repaired:
-            n_repaired += 1
-        emit(s, user_frames, glued, recovered=repaired)
+            self._n_repaired += 1
+        self._emit(s, user_frames, glued, recovered=repaired,
+                   index_evidence=True)
 
-    n_recovered = n_repaired
-    if candidates:
-        n_recovered += _recover(
-            module, instances, candidates, unknown, tag_index, emit
+    def _emit(
+        self,
+        s: RawSample,
+        frames: list[tuple[str, int]],
+        glued: bool,
+        recovered: bool = False,
+        index_evidence: bool = False,
+    ) -> None:
+        resolved = self._resolver.resolve_stack(tuple(frames))
+        inst = Instance(
+            index=s.index,
+            thread_id=s.thread_id,
+            frames=tuple(frames),
+            locations=tuple((r.filename, r.line) for r in resolved),
+            was_glued=glued,
+            spawn_tag=s.spawn_tag,
+            was_recovered=recovered,
         )
+        self._instances.append(inst)
+        # Recovery evidence comes from first-pass instances only:
+        # instances emitted *by* recovery never feed back into the
+        # indexes (matching the historical snapshot-then-recover order,
+        # which kept recovered paths from influencing later candidates).
+        if index_evidence and self.tolerant:
+            self._index_evidence(inst)
 
-    return PostmortemResult(
-        instances=instances,
-        runtime_samples=runtime,
-        n_raw=len(samples),
-        unknown=unknown,
-        quarantined=quarantined,
-        n_recovered=n_recovered,
-    )
+    def _index_evidence(self, inst: Instance) -> None:
+        if inst.was_glued:
+            # The post-spawn part of a glued path ends at its outlined
+            # frame; everything below is the pre-spawn continuation.
+            for k, (func, _iid) in enumerate(inst.frames):
+                f = self.module.get_function(func)
+                if f is not None and f.outlined_from is not None:
+                    self._pre_index.setdefault(func, set()).add(
+                        inst.frames[k + 1:]
+                    )
+                    break
+        for k in range(len(inst.frames) - 1):
+            self._cont_index.setdefault(inst.frames[k], set()).add(
+                inst.frames[k + 1:]
+            )
+
+    # -- recovery (second pass over held-back candidates) --------------------
+
+    def _resolve_candidate(self, c: _Candidate) -> int:
+        """Repairs one degraded stack from the accumulated evidence.
+
+        Two indexes built from intact first-pass instances answer:
+
+        * outlined-function → distinct pre-spawn stacks (for spawn-tag
+          loss: if every intact sample of outlined body F glued to one
+          pre-spawn stack, a tagless F sample glues to it too);
+        * deepest-remaining-frame → distinct continuations (for
+          truncated walks: the longest suffix below the matching frame
+          of an intact path, adopted only when unambiguous).
+
+        Returns 1 when the candidate was recovered, 0 when it landed in
+        the ``<unknown>`` bucket.
+        """
+        s = c.sample
+        if not c.user_frames:
+            # Nothing resolvable at all — stripped debug info.
+            self._unknown.append(DegradedSample(s, REASON_NO_DEBUG))
+            return 0
+        root_func, _root_iid = c.user_frames[-1]
+        rootf = self.module.get_function(root_func)
+        is_outlined_root = rootf is not None and rootf.outlined_from is not None
+
+        continuation: tuple[tuple[str, int], ...] | None = None
+        if is_outlined_root:
+            reason = REASON_LOST_TAG
+            if s.spawn_tag is not None:
+                # Tag survived but the pre-spawn stack was lost: glue
+                # via another sample that recorded the same tag intact.
+                continuation = self._tag_index.get(s.spawn_tag)
+            if continuation is None:
+                options = self._pre_index.get(root_func, set())
+                if len(options) == 1:
+                    continuation = next(iter(options))
+        else:
+            reason = REASON_NO_DEBUG if c.had_stripped else REASON_TRUNCATED
+            options = self._cont_index.get(c.user_frames[-1], set())
+            if len(options) == 1:
+                continuation = next(iter(options))
+
+        if continuation is not None:
+            frames = c.user_frames + [
+                f for f in continuation if _is_user_frame(self.module, f[0])
+            ]
+            if _is_complete(self.module, frames):
+                self._emit(s, frames, True, recovered=True)
+                return 1
+        self._unknown.append(DegradedSample(s, reason))
+        return 0
+
+
+def process_samples(
+    module: Module,
+    samples: list[RawSample],
+    options: object | None = None,
+    tolerant: bool = False,
+) -> PostmortemResult:
+    """One-shot stack consolidation over a fully materialized stream
+    (a single batch through :class:`PostmortemConsumer`)."""
+    consumer = PostmortemConsumer(module, options=options, tolerant=tolerant)
+    consumer.feed(samples)
+    return consumer.finish()
 
 
 def _repair_stripped(
@@ -274,78 +473,3 @@ def _is_complete(module: Module, user_frames: list[tuple[str, int]]) -> bool:
         return True
     f = module.get_function(root)
     return f is not None and f.is_artificial
-
-
-def _recover(
-    module: Module,
-    instances: list[Instance],
-    candidates: list[_Candidate],
-    unknown: list[DegradedSample],
-    tag_index: dict[int, tuple[tuple[str, int], ...]],
-    emit,
-) -> int:
-    """Second pass: repair degraded stacks from intact ones.
-
-    Two indexes are built from the first pass's intact instances:
-
-    * outlined-function → distinct pre-spawn stacks (for spawn-tag
-      loss: if every intact sample of outlined body F glued to one
-      pre-spawn stack, a tagless F sample glues to it too);
-    * deepest-remaining-frame → distinct continuations (for truncated
-      walks: the longest suffix below the matching frame of an intact
-      path, adopted only when unambiguous).
-    """
-    pre_index: dict[str, set[tuple[tuple[str, int], ...]]] = {}
-    cont_index: dict[tuple[str, int], set[tuple[tuple[str, int], ...]]] = {}
-    for inst in instances:
-        if inst.was_glued:
-            # The post-spawn part of a glued path ends at its outlined
-            # frame; everything below is the pre-spawn continuation.
-            for k, (func, _iid) in enumerate(inst.frames):
-                f = module.get_function(func)
-                if f is not None and f.outlined_from is not None:
-                    pre_index.setdefault(func, set()).add(inst.frames[k + 1:])
-                    break
-        for k in range(len(inst.frames) - 1):
-            cont_index.setdefault(inst.frames[k], set()).add(
-                inst.frames[k + 1:]
-            )
-
-    recovered = 0
-    for c in candidates:
-        s = c.sample
-        if not c.user_frames:
-            # Nothing resolvable at all — stripped debug info.
-            unknown.append(DegradedSample(s, REASON_NO_DEBUG))
-            continue
-        root_func, _root_iid = c.user_frames[-1]
-        rootf = module.get_function(root_func)
-        is_outlined_root = rootf is not None and rootf.outlined_from is not None
-
-        continuation: tuple[tuple[str, int], ...] | None = None
-        if is_outlined_root:
-            reason = REASON_LOST_TAG
-            if s.spawn_tag is not None:
-                # Tag survived but the pre-spawn stack was lost: glue
-                # via another sample that recorded the same tag intact.
-                continuation = tag_index.get(s.spawn_tag)
-            if continuation is None:
-                options = pre_index.get(root_func, set())
-                if len(options) == 1:
-                    continuation = next(iter(options))
-        else:
-            reason = REASON_NO_DEBUG if c.had_stripped else REASON_TRUNCATED
-            options = cont_index.get(c.user_frames[-1], set())
-            if len(options) == 1:
-                continuation = next(iter(options))
-
-        if continuation is not None:
-            frames = c.user_frames + [
-                f for f in continuation if _is_user_frame(module, f[0])
-            ]
-            if _is_complete(module, frames):
-                emit(s, frames, True, recovered=True)
-                recovered += 1
-                continue
-        unknown.append(DegradedSample(s, reason))
-    return recovered

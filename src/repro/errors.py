@@ -36,6 +36,18 @@ class DatasetCorruptError(ReproError):
     recoverable prefix (corrupt header, or strict-mode tail damage)."""
 
 
+class ArtifactError(ReproError, ValueError):
+    """A ``.cbp`` profile artifact is unreadable: bad magic, checksum
+    mismatch (bit flip), truncation (missing footer), or a structurally
+    invalid section."""
+
+
+class ArtifactVersionError(ArtifactError):
+    """The artifact's format version is not supported by this reader
+    (the header is intact — the file comes from a different tool
+    generation, not from corruption)."""
+
+
 class LocaleError(ReproError):
     """Base for per-locale failures in the multi-locale harness."""
 

@@ -108,6 +108,30 @@ class FaultInjector:
                 out.append(degraded)
         return out
 
+    def degrader(self):
+        """Returns a stateful batch-degrade function for streaming use.
+
+        The returned callable maps ``list[RawSample] -> list[RawSample]``
+        and holds one RNG across calls, so feeding the stream through it
+        batch by batch degrades *exactly* as one
+        :meth:`degrade_samples` call over the whole list would — the
+        fate of the k-th busy sample depends only on the plan seed and
+        k, never on how the stream was chunked.
+        """
+        if self.plan.is_clean:
+            return lambda batch: list(batch)
+        rng = random.Random(f"{self.plan.seed}:stream")
+
+        def degrade(batch: list[RawSample]) -> list[RawSample]:
+            out: list[RawSample] = []
+            for s in batch:
+                degraded = self._degrade_one(s, rng)
+                if degraded is not None:
+                    out.append(degraded)
+            return out
+
+        return degrade
+
     def wrap_monitor(self, monitor: Monitor) -> "FaultyMonitor":
         """Returns a monitor applying this injector's faults at ingest."""
         return FaultyMonitor(self, monitor)

@@ -141,16 +141,20 @@ def load_samples(path: str) -> tuple[DatasetHeader, list[RawSample]]:
 # -- v2: append-only journal with per-record checksums ----------------------
 
 
-def _crc_line(kind: str, payload: dict) -> str:
-    """One journal line: ``{"c": <crc32>, "<kind>": <payload>}``."""
+def crc_line(kind: str, payload: dict | list) -> str:
+    """One CRC-framed record line: ``{"c": <crc32>, "<kind>": <payload>}``.
+
+    Shared framing: the v2 sample journal and the ``.cbp`` profile
+    artifact (:mod:`repro.artifact.format`) both use it, so one reader
+    (:func:`check_line`) detects bit flips in either."""
     body = json.dumps(payload, separators=(",", ":"), sort_keys=True)
     return json.dumps(
         {"c": zlib.crc32(body.encode())}, separators=(",", ":")
     )[:-1] + f',"{kind}":{body}}}'
 
 
-def _check_line(line: str) -> tuple[str, dict]:
-    """Parses and checksum-verifies one journal line → (kind, payload).
+def check_line(line: str) -> tuple[str, dict | list]:
+    """Parses and checksum-verifies one framed line → (kind, payload).
 
     Raises :class:`DatasetCorruptError` on any damage."""
     try:
@@ -208,7 +212,7 @@ class DatasetJournal:
         self.flush_every = max(1, flush_every)
         self.n_appended = 0
         self._f = open(path, "w")
-        self._f.write(_crc_line("h", self.header.to_json()) + "\n")
+        self._f.write(crc_line("h", self.header.to_json()) + "\n")
         self._f.flush()
 
     @classmethod
@@ -227,7 +231,7 @@ class DatasetJournal:
         return journal, samples
 
     def append(self, sample: RawSample) -> None:
-        self._f.write(_crc_line("s", _sample_to_json(sample)) + "\n")
+        self._f.write(crc_line("s", _sample_to_json(sample)) + "\n")
         self.n_appended += 1
         if self.n_appended % self.flush_every == 0:
             self._f.flush()
@@ -263,7 +267,7 @@ def scan_journal(path: str) -> tuple[list[RawSample], JournalScan]:
     first = raw_lines[0].decode("utf-8", errors="replace") if raw_lines else ""
     if not first.strip():
         raise DatasetCorruptError(f"{path}: empty journal")
-    kind, payload = _check_line(first)  # header damage is unrecoverable
+    kind, payload = check_line(first)  # header damage is unrecoverable
     if kind != "h":
         raise DatasetCorruptError(f"{path}: first record is not a header")
     header = DatasetHeader.from_json(payload)
@@ -278,7 +282,7 @@ def scan_journal(path: str) -> tuple[list[RawSample], JournalScan]:
             offset += len(raw) + 1
             continue
         try:
-            kind, payload = _check_line(line)
+            kind, payload = check_line(line)
             if kind != "s":
                 raise DatasetCorruptError(f"unexpected record kind {kind!r}")
             samples.append(_sample_from_json(payload))
@@ -312,3 +316,8 @@ def load_journal(
             f"({scan.error})"
         )
     return scan.header, samples, scan
+
+
+# Back-compat aliases for the pre-artifact private names.
+_crc_line = crc_line
+_check_line = check_line

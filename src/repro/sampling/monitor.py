@@ -44,14 +44,48 @@ class QuarantinedSample:
 
 
 class Monitor:
-    """Collects raw samples during a run."""
+    """Collects raw samples during a run.
 
-    def __init__(self, pmu: PMUConfig | None = None, charge_overhead: bool = True) -> None:
+    Two modes:
+
+    * **retain** (default): every accepted sample is appended to
+      ``self.samples`` — the historical behaviour, used wherever the
+      caller wants the raw stream afterwards (``--save-samples``,
+      baseline attributors, tests);
+    * **sink**: pass a ``sink`` callable and samples are delivered in
+      batches of ``batch_size`` as collection proceeds, with only the
+      current partial batch resident (``peak_resident`` records the
+      high-water mark).  ``self.samples`` stays empty; call
+      :meth:`flush` after the run to deliver the final partial batch.
+
+    ``n_accepted`` counts accepted samples in both modes (retain mode
+    keeps ``n_accepted == len(self.samples)``), and sample indices are
+    assigned from it — so the stream a sink sees is record-for-record
+    identical to what retain mode would have stored.
+    """
+
+    def __init__(
+        self,
+        pmu: PMUConfig | None = None,
+        charge_overhead: bool = True,
+        sink=None,
+        batch_size: int = 256,
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
         self.pmu = pmu or PMUConfig()
         self.samples: list[RawSample] = []
         self.quarantined: list[QuarantinedSample] = []
         self.overhead = OverheadStats()
         self.charge_overhead = charge_overhead
+        self.sink = sink
+        self.batch_size = batch_size
+        #: Accepted-sample count (== ``len(samples)`` in retain mode).
+        self.n_accepted = 0
+        #: High-water mark of resident (undelivered) samples, sink mode.
+        self.peak_resident = 0
+        self._batch: list[RawSample] = []
+        self._dataset_bytes = 0
 
     def take_sample(self, thread, task, stack, leaf_iid: int) -> None:
         """Called by the interpreter on PMU overflow."""
@@ -66,7 +100,7 @@ class Monitor:
                 pre_spawn = tuple(task.spawn.pre_spawn_stack)
         self._ingest(
             RawSample(
-                index=len(self.samples),
+                index=self.n_accepted,
                 thread_id=thread.thread_id,
                 task_id=task_id,
                 stack=tuple(stack),
@@ -89,7 +123,22 @@ class Monitor:
         if reason is not None:
             self.quarantined.append(QuarantinedSample(reason, sample))
             return
-        self.samples.append(sample)
+        self.n_accepted += 1
+        self._dataset_bytes += 8 + 8 * len(sample.stack)
+        if self.sink is None:
+            self.samples.append(sample)
+            return
+        self._batch.append(sample)
+        if len(self._batch) > self.peak_resident:
+            self.peak_resident = len(self._batch)
+        if len(self._batch) >= self.batch_size:
+            self.flush()
+
+    def flush(self) -> None:
+        """Delivers any buffered partial batch to the sink (sink mode)."""
+        if self.sink is not None and self._batch:
+            batch, self._batch = self._batch, []
+            self.sink(batch)
 
     @staticmethod
     def validate(sample: RawSample) -> str | None:
@@ -108,7 +157,7 @@ class Monitor:
 
     @property
     def n_samples(self) -> int:
-        return len(self.samples)
+        return self.n_accepted
 
     @property
     def n_quarantined(self) -> int:
@@ -127,5 +176,6 @@ class Monitor:
     def dataset_size_bytes(self) -> int:
         """Approximate size of the raw sample dataset (each stack entry
         is one 8-byte address plus an 8-byte record header) — the paper
-        reports 6–20 MB per run at its scale."""
-        return sum(8 + 8 * len(s.stack) for s in self.samples)
+        reports 6–20 MB per run at its scale.  Accumulated at ingest, so
+        it is exact in sink mode too, where the stream is not retained."""
+        return self._dataset_bytes

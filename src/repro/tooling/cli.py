@@ -1,29 +1,70 @@
-"""Command-line entry point: profile a mini-Chapel source file.
+"""Command-line entry point: the staged profiling pipeline as subcommands.
 
 Usage::
 
-    python -m repro.tooling.cli program.chpl [--threads N] [--threshold P]
-        [--fast] [--view data|code|hybrid|all] [--config name=value ...]
+    repro-profile profile program.chpl [-o run.cbp] [--streaming]
+        [--threads N] [--threshold P] [--fast] [--view data|code|hybrid|all]
+        [--config name=value ...]
+    repro-profile view run.cbp [--view data|code|hybrid|all] [--html PATH]
+    repro-profile merge merged.cbp shard0.cbp shard1.cbp ...
+    repro-profile diff before.cbp after.cbp
+    repro-profile advise program.chpl [--profile] [--json]
+    repro-profile --version
 
-    python -m repro.tooling.cli advise program.chpl [--profile] [--json]
-    python -m repro.tooling.cli advise --benchmark minimd:original
+``profile`` runs a program once and can persist everything the
+presentation layer needs as a versioned ``.cbp`` artifact; ``view``
+re-renders any window from such an artifact — byte-identical to the
+live render — without re-running anything; ``merge`` combines
+per-locale/per-run artifacts; ``diff`` prints the blame-shift table
+between two artifacts (paper Table VIII).  The ``advise`` subcommand
+runs the static analysis suite (optimization advisor + forall race
+detector) and exits nonzero when any error-severity finding is
+reported, so it can gate CI.
 
-Prints the requested view(s) of the blame profile — the textual
-equivalent of the paper's GUI (Fig. 3).  The ``advise`` subcommand runs
-the static analysis suite (optimization advisor + forall race detector)
-and exits nonzero when any error-severity finding is reported, so it
-can gate CI.
+The historical single-command form (``repro-profile program.chpl ...``)
+still works: a first argument that names a file (or an option) is
+treated as ``profile``.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
-from ..views.code_centric import render_code_centric
-from ..views.data_centric import render_data_centric
-from ..views.hybrid import render_hybrid
+from ..errors import ArtifactError
+from ..pipeline.stages import render_stage
 from .profiler import Profiler
+
+#: Subcommands `main` dispatches on.
+SUBCOMMANDS = ("profile", "view", "merge", "diff", "advise")
+
+_USAGE = """\
+usage: repro-profile <command> [options]
+
+commands:
+  profile SOURCE [-o ART.cbp]   run a program, print views, save an artifact
+  view ART.cbp                  re-render views from a saved artifact
+  merge OUT.cbp IN.cbp...       merge per-locale/per-run artifacts
+  diff A.cbp B.cbp              blame-shift table between two artifacts
+  advise SOURCE                 static optimization advisor + race detector
+
+  repro-profile --version       print the tool version
+  repro-profile <command> -h    per-command options
+
+(legacy form: `repro-profile SOURCE [options]` == `profile SOURCE ...`)
+"""
+
+
+def tool_version() -> str:
+    try:
+        from importlib.metadata import version
+
+        return version("repro")
+    except Exception:  # not installed (src checkout on PYTHONPATH)
+        from .. import __version__
+
+        return __version__
 
 
 def _parse_config(pairs: list[str]) -> dict[str, object]:
@@ -47,10 +88,64 @@ def _parse_config(pairs: list[str]) -> dict[str, object]:
 def main(argv: list[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
-    if argv and argv[0] == "advise":
-        return advise_main(argv[1:])
+    if argv and argv[0] in ("--version", "-V"):
+        print(f"repro {tool_version()}")
+        return 0
+    if not argv:
+        print(_USAGE, file=sys.stderr, end="")
+        return 2
+    head, rest = argv[0], argv[1:]
+    if head == "advise":
+        return advise_main(rest)
+    if head == "profile":
+        return profile_main(rest)
+    if head == "view":
+        return view_main(rest)
+    if head == "merge":
+        return merge_main(rest)
+    if head == "diff":
+        return diff_main(rest)
+    # Legacy single-command form: anything that looks like a source file
+    # or an option goes to `profile` unchanged.
+    if head.startswith("-") or os.path.exists(head) or "." in head or "/" in head:
+        return profile_main(argv)
+    print(f"repro-profile: unknown command {head!r}\n", file=sys.stderr)
+    print(_USAGE, file=sys.stderr, end="")
+    return 2
+
+
+def _load_artifact(path: str):
+    """Reads one artifact, mapping failures to clean exits (no traceback)."""
+    from ..artifact import read_artifact
+
+    try:
+        return read_artifact(path)
+    except FileNotFoundError:
+        print(f"repro-profile: no such artifact: {path}", file=sys.stderr)
+        raise SystemExit(2) from None
+    except ArtifactError as exc:
+        print(f"repro-profile: {path}: {exc}", file=sys.stderr)
+        raise SystemExit(1) from None
+
+
+def _print_views(profile, view: str, top: int) -> None:
+    """The shared presentation path: `profile` and `view` both print
+    through here, which is what keeps artifact renders byte-identical
+    to live ones."""
+    if view in ("data", "all"):
+        print(render_stage(profile, "data", top=top))
+        print()
+    if view in ("code", "all"):
+        print(render_stage(profile, "code", top=top))
+        print()
+    if view in ("hybrid", "all"):
+        print(render_stage(profile, "hybrid"))
+        print()
+
+
+def profile_main(argv: list[str]) -> int:
     ap = argparse.ArgumentParser(
-        prog="repro-profile",
+        prog="repro-profile profile",
         description="Data-centric (variable blame) profiler for mini-Chapel",
     )
     ap.add_argument("source", help="mini-Chapel source file")
@@ -59,9 +154,9 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument("--fast", action="store_true", help="compile with --fast pipeline")
     ap.add_argument(
         "--view",
-        choices=["data", "code", "hybrid", "all"],
+        choices=["data", "code", "hybrid", "all", "none"],
         default="data",
-        help="which window to print",
+        help="which window to print (none: only write the artifact)",
     )
     ap.add_argument("--top", type=int, default=20, help="rows to display")
     ap.add_argument(
@@ -69,6 +164,26 @@ def main(argv: list[str] | None = None) -> int:
     )
     ap.add_argument(
         "--show-output", action="store_true", help="echo program writeln output"
+    )
+    ap.add_argument(
+        "-o",
+        "--output",
+        metavar="ART",
+        help="write the profile artifact (.cbp) — render/merge/diff it "
+        "later with the view/merge/diff subcommands, no re-run needed",
+    )
+    ap.add_argument(
+        "--streaming",
+        action="store_true",
+        help="bounded-memory collection: post-mortem consumes sample "
+        "batches as they fill instead of the whole run at once",
+    )
+    ap.add_argument(
+        "--batch-size",
+        type=int,
+        default=256,
+        metavar="N",
+        help="samples per batch with --streaming (peak resident bound)",
     )
     ap.add_argument(
         "--save-samples",
@@ -102,8 +217,15 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = ap.parse_args(argv)
 
-    with open(args.source) as f:
-        source = f.read()
+    if args.streaming and args.save_samples:
+        ap.error("--save-samples needs the retained stream (drop --streaming)")
+
+    try:
+        with open(args.source) as f:
+            source = f.read()
+    except OSError as exc:
+        print(f"repro-profile: {exc}", file=sys.stderr)
+        return 2
 
     if args.save_samples:
         # Deterministic ids so the dataset is re-analyzable offline.
@@ -122,7 +244,9 @@ def main(argv: list[str] | None = None) -> int:
         fast=args.fast,
         faults=args.inject_faults,
     )
-    result = profiler.profile()
+    result = profiler.profile(
+        streaming=args.streaming, batch_size=args.batch_size
+    )
 
     if args.save_samples:
         from ..sampling.dataset import (
@@ -146,20 +270,24 @@ def main(argv: list[str] | None = None) -> int:
             save_samples(args.save_samples, header, result.monitor.samples)
             print(f"[raw samples saved to {args.save_samples}]")
 
+    if args.output:
+        from ..artifact import snapshot_from_result, write_artifact
+        from ..sampling.dataset import source_digest
+
+        snapshot = snapshot_from_result(
+            result,
+            source_sha256=source_digest(source),
+            num_threads=args.threads,
+        )
+        write_artifact(args.output, snapshot)
+        print(f"[profile artifact written to {args.output}]")
+
     if args.show_output:
         for line in result.run_result.output:
             print(line)
         print()
 
-    if args.view in ("data", "all"):
-        print(render_data_centric(result.report, top=args.top))
-        print()
-    if args.view in ("code", "all"):
-        print(render_code_centric(result.module, result.postmortem, top=args.top))
-        print()
-    if args.view in ("hybrid", "all"):
-        print(render_hybrid(result.report))
-        print()
+    _print_views(result, args.view, args.top)
     if args.html:
         from ..views.html import write_html_report
 
@@ -172,6 +300,133 @@ def main(argv: list[str] | None = None) -> int:
     )
     _print_degradation(result)
     return _quarantine_gate(result, args.fail_on_quarantine_rate)
+
+
+def view_main(argv: list[str]) -> int:
+    ap = argparse.ArgumentParser(
+        prog="repro-profile view",
+        description="Re-render views from a saved .cbp profile artifact",
+    )
+    ap.add_argument("artifact", help="profile artifact (.cbp)")
+    ap.add_argument(
+        "--view",
+        choices=["data", "code", "hybrid", "all"],
+        default="data",
+        help="which window to print",
+    )
+    ap.add_argument("--top", type=int, default=20, help="rows to display")
+    ap.add_argument(
+        "--html",
+        metavar="PATH",
+        help="also write a self-contained HTML report",
+    )
+    ap.add_argument(
+        "--meta", action="store_true", help="print artifact metadata first"
+    )
+    args = ap.parse_args(argv)
+
+    snapshot = _load_artifact(args.artifact)
+    if args.meta:
+        m = snapshot.meta
+        print(
+            f"[{args.artifact}: {m.kind} of {m.program}, "
+            f"locale {m.locale_id}, threads {m.num_threads}, "
+            f"threshold {m.threshold}, written by {m.created_by or '?'}]"
+        )
+    _print_views(snapshot, args.view, args.top)
+    if args.html:
+        from ..views.html import write_html_report
+
+        write_html_report(args.html, snapshot, top=args.top)
+        print(f"[HTML report written to {args.html}]")
+    return 0
+
+
+def merge_main(argv: list[str]) -> int:
+    ap = argparse.ArgumentParser(
+        prog="repro-profile merge",
+        description="Merge per-locale/per-run .cbp artifacts into one",
+    )
+    ap.add_argument("output", help="merged artifact to write")
+    ap.add_argument("inputs", nargs="+", help="artifacts to merge")
+    ap.add_argument(
+        "--program", help="program name for the merged report (default: first)"
+    )
+    ap.add_argument(
+        "--missing-locales",
+        metavar="L1,L2",
+        default="",
+        help="locale ids that produced no artifact (recorded as coverage "
+        "gaps in the merged report)",
+    )
+    ap.add_argument(
+        "--view",
+        choices=["data", "code", "hybrid", "all", "none"],
+        default="none",
+        help="also print this window of the merged profile",
+    )
+    ap.add_argument("--top", type=int, default=20, help="rows to display")
+    args = ap.parse_args(argv)
+
+    from ..artifact import merge_snapshots, write_artifact
+
+    missing = tuple(
+        int(tok) for tok in args.missing_locales.split(",") if tok.strip()
+    )
+    snapshots = [_load_artifact(p) for p in args.inputs]
+    try:
+        merged = merge_snapshots(
+            snapshots, program=args.program, missing_locales=missing
+        )
+    except ArtifactError as exc:
+        print(f"repro-profile: {exc}", file=sys.stderr)
+        return 1
+    write_artifact(args.output, merged)
+    print(
+        f"[merged {len(snapshots)} artifact(s) -> {args.output}: "
+        f"{merged.report.stats.user_samples} user samples"
+        + (f", missing locales {sorted(missing)}" if missing else "")
+        + "]"
+    )
+    if args.view != "none":
+        _print_views(merged, args.view, args.top)
+    return 0
+
+
+def diff_main(argv: list[str]) -> int:
+    ap = argparse.ArgumentParser(
+        prog="repro-profile diff",
+        description="Blame-shift table between two .cbp artifacts "
+        "(paper Table VIII)",
+    )
+    ap.add_argument("before", help="baseline artifact")
+    ap.add_argument("after", help="comparison artifact")
+    ap.add_argument("--top", type=int, default=20, help="rows to display")
+    ap.add_argument(
+        "--min-delta",
+        type=float,
+        default=0.0,
+        metavar="X",
+        help="hide shifts smaller than this blame fraction",
+    )
+    ap.add_argument("--label-a", default=None, help="column label for BEFORE")
+    ap.add_argument("--label-b", default=None, help="column label for AFTER")
+    args = ap.parse_args(argv)
+
+    from ..artifact import diff_snapshots, render_blame_diff
+
+    a = _load_artifact(args.before)
+    b = _load_artifact(args.after)
+    rows = diff_snapshots(a, b, min_delta=args.min_delta)
+    print(
+        render_blame_diff(
+            rows,
+            label_a=args.label_a or os.path.basename(args.before),
+            label_b=args.label_b or os.path.basename(args.after),
+            top=args.top,
+        )
+    )
+    return 0
 
 
 def _print_degradation(result) -> None:
@@ -376,7 +631,7 @@ def advise_main(argv: list[str] | None = None) -> int:
         print(findings_to_json(shown))
     else:
         if report is not None:
-            print(render_hybrid(report, findings=shown))
+            print(render_stage(result, "hybrid", findings=shown))
             print()
         print(render_findings(shown, title=f"Advisor report: {filename}"))
     if result is not None:

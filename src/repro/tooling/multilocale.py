@@ -16,6 +16,14 @@ down are *marked missing* while the surviving reports still merge
 (``allow_partial``) — the whole aggregation only fails when nothing
 survived.
 
+Aggregation goes *through the artifact layer*: each surviving locale's
+run becomes a :class:`~repro.artifact.model.ProfileSnapshot` (persisted
+as a per-locale ``.cbp`` when ``artifact_dir`` is given) and the
+program-wide report is :func:`~repro.artifact.merge.merge_snapshots`
+over them — the same merge ``repro merge`` applies to artifacts on
+disk, so an in-process multi-locale profile and an offline merge of the
+locale shards produce the identical report.
+
 This is a simulation of the *aggregation* path only — it does not model
 inter-locale communication (tracking data through GASNet is the paper's
 future work, and ours).
@@ -23,10 +31,12 @@ future work, and ours).
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 
-from ..blame.aggregate import merge_reports
+from ..artifact.merge import merge_snapshots
+from ..artifact.model import ProfileSnapshot, snapshot_from_result
 from ..blame.report import BlameReport
 from ..errors import (
     AggregationError,
@@ -60,6 +70,13 @@ class MultiLocaleResult:
     merged: BlameReport
     outcomes: list[LocaleOutcome] = field(default_factory=list)
     requested_locales: int = 0
+    #: Per-locale artifact snapshots (same order as ``per_locale``).
+    snapshots: list[ProfileSnapshot] = field(default_factory=list)
+    #: The merge of ``snapshots`` (``merged`` is its report).
+    merged_snapshot: "ProfileSnapshot | None" = None
+    #: ``.cbp`` files written when ``artifact_dir`` was given
+    #: (per-locale shards, then the merged artifact last).
+    artifact_paths: list[str] = field(default_factory=list)
 
     @property
     def num_locales(self) -> int:
@@ -91,6 +108,7 @@ def profile_locales(
     retry_backoff: float = 0.01,
     allow_partial: bool = True,
     drop_stragglers: bool = False,
+    artifact_dir: str | None = None,
 ) -> MultiLocaleResult:
     """Profiles ``source`` once per locale and merges the reports.
 
@@ -107,6 +125,10 @@ def profile_locales(
     locales that never succeed are marked missing on the merged report
     unless ``allow_partial`` is off, in which case the harness raises
     :class:`AggregationError`.
+
+    ``artifact_dir`` persists each surviving locale as
+    ``locale<N>.cbp`` plus the merged profile as ``merged.cbp`` — the
+    shards ``repro merge`` would combine to the same result offline.
     """
     if num_locales < 1:
         raise AggregationError("need at least one locale")
@@ -116,9 +138,12 @@ def profile_locales(
 
         plan = FaultPlan.parse(faults) if isinstance(faults, str) else faults
 
+    from ..sampling.dataset import source_digest
+
+    digest = source_digest(source)
     base = dict(config or {})
     per_locale: list[ProfileResult] = []
-    reports: list[BlameReport] = []
+    snapshots: list[ProfileSnapshot] = []
     outcomes: list[LocaleOutcome] = []
     for locale in range(num_locales):
         cfg = dict(base)
@@ -141,7 +166,14 @@ def profile_locales(
         if result is not None:
             result.report.locale_id = locale
             per_locale.append(result)
-            reports.append(result.report)
+            snapshots.append(
+                snapshot_from_result(
+                    result,
+                    source_sha256=digest,
+                    num_threads=num_threads,
+                    locale_id=locale,
+                )
+            )
         elif not allow_partial:
             raise AggregationError(
                 f"locale {locale} failed after {outcome.attempts} attempts: "
@@ -149,17 +181,38 @@ def profile_locales(
             )
 
     missing = tuple(o.locale_id for o in outcomes if not o.succeeded)
-    if not reports:
+    if not snapshots:
         raise AggregationError(
             f"all {num_locales} locales failed; nothing to aggregate "
             f"(last error: {outcomes[-1].error})"
         )
-    merged = merge_reports(reports, program=filename, missing_locales=missing)
+    merged_snapshot = merge_snapshots(
+        snapshots, program=filename, missing_locales=missing
+    )
+
+    artifact_paths: list[str] = []
+    if artifact_dir is not None:
+        from ..artifact.format import write_artifact
+
+        os.makedirs(artifact_dir, exist_ok=True)
+        for snap in snapshots:
+            path = os.path.join(
+                artifact_dir, f"locale{snap.meta.locale_id}.cbp"
+            )
+            write_artifact(path, snap)
+            artifact_paths.append(path)
+        merged_path = os.path.join(artifact_dir, "merged.cbp")
+        write_artifact(merged_path, merged_snapshot)
+        artifact_paths.append(merged_path)
+
     return MultiLocaleResult(
         per_locale=per_locale,
-        merged=merged,
+        merged=merged_snapshot.report,
         outcomes=outcomes,
         requested_locales=num_locales,
+        snapshots=snapshots,
+        merged_snapshot=merged_snapshot,
+        artifact_paths=artifact_paths,
     )
 
 

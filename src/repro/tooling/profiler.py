@@ -5,6 +5,19 @@
 3. post-mortem processing → instances → attribution
 4. data presentation → :class:`~repro.blame.BlameReport` (+ views)
 
+The stages themselves live in :mod:`repro.pipeline.stages`;
+:class:`Profiler` is the driver that wires them together, in one of two
+ways:
+
+* ``profile()`` — the historical materialized run: collect the whole
+  sample stream, then consolidate it;
+* ``profile(streaming=True)`` — bounded-memory run: the monitor sinks
+  sample batches straight into a
+  :class:`~repro.blame.postmortem.PostmortemConsumer` (through the
+  fault injector's streaming degrader when faults are enabled), so at
+  no point is the full ``list[RawSample]`` resident.  Same report,
+  bounded peak memory.
+
 Typical use::
 
     from repro.tooling import Profiler
@@ -18,40 +31,27 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
-from ..blame.attribution import AttributionResult, BlameAttributor
-from ..blame.cache import cached_module_blame_info
-from ..blame.postmortem import PostmortemResult, process_samples
-from ..blame.report import BlameReport, RunStats, build_rows
+from ..blame.attribution import AttributionResult
+from ..blame.postmortem import PostmortemConsumer, PostmortemResult
+from ..blame.report import BlameReport
 from ..blame.static_info import ModuleBlameInfo
-from ..compiler.lower import compile_source
 from ..ir.module import Module
+from ..pipeline.stages import (
+    _COMPILE_CACHE,  # noqa: F401  (re-exported for back-compat)
+    aggregate_stage,
+    analyze_stage,
+    attribute_stage,
+    collect_stage,
+    compile_stage,
+    postmortem_stage,
+)
 from ..runtime.costmodel import CostModel
 from ..runtime.interpreter import Interpreter, RunResult
 from ..sampling.monitor import Monitor
-from ..sampling.pmu import DEFAULT_THRESHOLD, PMUConfig
+from ..sampling.pmu import DEFAULT_THRESHOLD
 
-#: (source, filename, fast) → compiled (and fast-lowered) Module.
-#: Profiling the same program repeatedly — benchmark sweeps, the warm
-#: paths in the perf suite — reuses one Module object, which both skips
-#: recompilation and keeps instruction ids identical across runs so the
-#: on-module analysis caches stay hot.  Bounded FIFO.
-_COMPILE_CACHE: dict[tuple[str, str, bool], Module] = {}
-_COMPILE_CACHE_MAX = 32
-
-
-def _compile_cached(source: str, filename: str, fast: bool) -> Module:
-    key = (source, filename, fast)
-    module = _COMPILE_CACHE.get(key)
-    if module is None:
-        module = compile_source(source, filename)
-        if fast:
-            from ..compiler.passes import run_fast_pipeline
-
-            run_fast_pipeline(module)
-        if len(_COMPILE_CACHE) >= _COMPILE_CACHE_MAX:
-            _COMPILE_CACHE.pop(next(iter(_COMPILE_CACHE)))
-        _COMPILE_CACHE[key] = module
-    return module
+#: Back-compat alias — the compile cache moved to the pipeline stages.
+_compile_cached = compile_stage
 
 
 @dataclass
@@ -118,7 +118,7 @@ class Profiler:
 
                 run_fast_pipeline(self.module)
         else:
-            self.module = _compile_cached(source, filename, fast)
+            self.module = compile_stage(source, filename, fast)
             self.program_name = filename
         self.config = config or {}
         self.num_threads = num_threads
@@ -135,84 +135,118 @@ class Profiler:
             faults = FaultPlan.parse(faults)
         self.faults = faults
 
-    def profile(self) -> ProfileResult:
-        # Step 1 — static analysis (pre-run, sample-independent; cached
-        # on the module, keyed by a content hash of its IR).
-        static_info = cached_module_blame_info(
-            self.module, options=self.blame_options
-        )
+    def _injector(self):
+        if self.faults is None or getattr(self.faults, "is_clean", True):
+            return None
+        from ..resilience.inject import FaultInjector
 
-        # Step 2 — execution under the monitor.
-        monitor = Monitor(PMUConfig(threshold=self.threshold))
-        interp = Interpreter(
-            self.module,
-            config=self.config,
-            num_threads=self.num_threads,
-            cost_model=self.cost_model,
-            monitor=monitor,
-            sample_threshold=self.threshold,
-            skid=self.skid,
-            skid_compensation=self.skid_compensation,
-        )
-        run_result = interp.run()
+        return FaultInjector(self.faults, module=self.module)
 
-        # Optional fault injection between steps 2 and 3: the monitor's
-        # stream stays pristine; post-mortem sees the degraded copy.
-        injector = None
-        samples = monitor.samples
-        if self.faults is not None and not getattr(self.faults, "is_clean", True):
-            from ..resilience.inject import FaultInjector
+    def profile(
+        self,
+        streaming: bool = False,
+        batch_size: int = 256,
+        evidence_window: int | None = None,
+    ) -> ProfileResult:
+        """Runs the pipeline end to end.
 
-            injector = FaultInjector(self.faults, module=self.module)
-            samples = injector.degrade_samples(samples)
+        ``streaming=True`` switches collection and post-mortem to the
+        bounded-memory path: samples flow to the consumer in batches of
+        ``batch_size`` (the monitor's ``peak_resident`` never exceeds
+        it) and idle samples are counted, not kept.  ``evidence_window``
+        additionally bounds the held-back degraded-sample buffer (see
+        :class:`~repro.blame.postmortem.PostmortemConsumer`).  On a
+        clean run both paths produce identical reports.
+        """
+        # Step 1 — static analysis.
+        static_info = analyze_stage(self.module, options=self.blame_options)
+        injector = self._injector()
 
-        # Step 3 — post-mortem processing (tolerant: degraded telemetry
-        # is bucketed/quarantined, never raised; a no-op when clean).
-        t0 = time.perf_counter()
-        pm = process_samples(
-            self.module, samples, options=static_info.options, tolerant=True
-        )
-        attribution = BlameAttributor(static_info).attribute(pm.instances)
-        postmortem_seconds = time.perf_counter() - t0
+        if streaming:
+            consumer = PostmortemConsumer(
+                self.module,
+                options=static_info.options,
+                tolerant=True,
+                evidence_window=evidence_window,
+                keep_runtime_samples=False,
+            )
+            degrade = injector.degrader() if injector is not None else None
+            pm_clock = [0.0]
+
+            def sink(batch):
+                t0 = time.perf_counter()
+                consumer.feed(degrade(batch) if degrade is not None else batch)
+                pm_clock[0] += time.perf_counter() - t0
+
+            # Step 2 — execution, sinking batches as they fill (step 3
+            # runs incrementally inside the sink).
+            coll = collect_stage(
+                self.module,
+                config=self.config,
+                num_threads=self.num_threads,
+                threshold=self.threshold,
+                cost_model=self.cost_model,
+                skid=self.skid,
+                skid_compensation=self.skid_compensation,
+                sink=sink,
+                batch_size=batch_size,
+            )
+            t0 = time.perf_counter()
+            pm = consumer.finish()
+            attribution = attribute_stage(static_info, pm)
+            postmortem_seconds = pm_clock[0] + time.perf_counter() - t0
+        else:
+            # Step 2 — execution under the monitor, stream retained.
+            coll = collect_stage(
+                self.module,
+                config=self.config,
+                num_threads=self.num_threads,
+                threshold=self.threshold,
+                cost_model=self.cost_model,
+                skid=self.skid,
+                skid_compensation=self.skid_compensation,
+            )
+
+            # Optional fault injection between steps 2 and 3: the
+            # monitor's stream stays pristine; post-mortem sees the
+            # degraded copy.
+            samples = coll.monitor.samples
+            if injector is not None:
+                samples = injector.degrade_samples(samples)
+
+            # Step 3 — post-mortem processing (tolerant: degraded
+            # telemetry is bucketed/quarantined, never raised; a no-op
+            # when clean).
+            t0 = time.perf_counter()
+            pm = postmortem_stage(
+                self.module, samples, options=static_info.options, tolerant=True
+            )
+            attribution = attribute_stage(static_info, pm)
+            postmortem_seconds = time.perf_counter() - t0
 
         # Step 4 — report assembly.
-        n_quarantined = len(pm.quarantined) + monitor.n_quarantined
-        stats = RunStats(
-            total_raw_samples=len(samples),
-            user_samples=pm.n_user,
-            runtime_samples=len(pm.runtime_samples),
-            wall_seconds=run_result.wall_seconds,
+        monitor = coll.monitor
+        report = aggregate_stage(
+            self.program_name,
+            pm,
+            attribution,
+            wall_seconds=coll.run_result.wall_seconds,
             dataset_bytes=monitor.dataset_size_bytes(),
             stackwalk_cycles=monitor.overhead.stackwalk_cycles_total,
             postmortem_seconds=postmortem_seconds,
-            unknown_samples=pm.n_unknown,
-            quarantined_samples=n_quarantined,
-            recovered_samples=pm.n_recovered,
-        )
-        quarantine_reasons = pm.quarantine_by_reason()
-        for reason, n in monitor.quarantine_by_reason().items():
-            quarantine_reasons[reason] = quarantine_reasons.get(reason, 0) + n
-        report = BlameReport(
-            program=self.program_name,
-            rows=build_rows(
-                attribution,
-                min_blame=self.min_blame,
-                include_temps=self.include_temps,
-                unknown_samples=pm.n_unknown,
-            ),
-            stats=stats,
-            unknown_by_reason=pm.unknown_by_reason(),
-            quarantine_by_reason=quarantine_reasons,
+            monitor_quarantine=monitor.quarantine_by_reason(),
+            min_blame=self.min_blame,
+            include_temps=self.include_temps,
         )
         return ProfileResult(
             module=self.module,
             static_info=static_info,
             monitor=monitor,
-            run_result=run_result,
+            run_result=coll.run_result,
             postmortem=pm,
             attribution=attribution,
             report=report,
-            interpreter=interp,
+            interpreter=coll.interpreter,
             fault_stats=injector.stats if injector is not None else None,
         )
 
@@ -234,7 +268,7 @@ def run_only(
 
             run_fast_pipeline(module)
     else:
-        module = _compile_cached(source, filename, fast)
+        module = compile_stage(source, filename, fast)
     interp = Interpreter(
         module, config=config, num_threads=num_threads, cost_model=cost_model
     )

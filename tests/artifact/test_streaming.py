@@ -1,0 +1,173 @@
+"""Streaming collection + post-mortem: bounded memory, identical output.
+
+The acceptance bar: with ``streaming=True`` the monitor never holds
+more than ``batch_size`` samples resident, and on the same program the
+resulting report (and every view) is exactly what the materialized
+pipeline produces — clean or degraded."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.blame.postmortem import PostmortemConsumer, process_samples
+from repro.pipeline import render_stage
+from repro.resilience.faults import FaultPlan
+from repro.resilience.inject import FaultInjector
+
+from .conftest import FAULT_SPEC, profile_benchmark
+
+BATCH = 32
+
+
+def report_key(result):
+    return [
+        (r.name, r.context, r.samples, r.blame) for r in result.report.rows
+    ]
+
+
+class TestStreamingEquivalence:
+    @pytest.mark.parametrize("view", ["data", "code", "hybrid", "html"])
+    def test_views_identical_clean(self, benchmark_name, view):
+        retained = profile_benchmark(benchmark_name)
+        streamed = profile_benchmark(
+            benchmark_name, streaming=True, batch_size=BATCH
+        )
+        assert render_stage(streamed, view) == render_stage(retained, view)
+
+    def test_views_identical_degraded(self, benchmark_name):
+        retained = profile_benchmark(benchmark_name, faults=FAULT_SPEC)
+        streamed = profile_benchmark(
+            benchmark_name, faults=FAULT_SPEC, streaming=True, batch_size=BATCH
+        )
+        for view in ("data", "code", "hybrid", "html"):
+            assert render_stage(streamed, view) == render_stage(retained, view)
+        assert report_key(streamed) == report_key(retained)
+
+    def test_degraded_accounting_identical(self, benchmark_name):
+        retained = profile_benchmark(benchmark_name, faults=FAULT_SPEC)
+        streamed = profile_benchmark(
+            benchmark_name, faults=FAULT_SPEC, streaming=True, batch_size=BATCH
+        )
+        # postmortem_seconds is host-measured wall time, the one
+        # legitimately nondeterministic stat.
+        import dataclasses
+
+        assert dataclasses.replace(
+            streamed.report.stats, postmortem_seconds=0.0
+        ) == dataclasses.replace(retained.report.stats, postmortem_seconds=0.0)
+        assert (
+            streamed.postmortem.unknown_by_reason()
+            == retained.postmortem.unknown_by_reason()
+        )
+        assert streamed.fault_stats.as_dict() == retained.fault_stats.as_dict()
+
+
+class TestBoundedMemory:
+    def test_peak_resident_bounded_by_batch_size(self, benchmark_name):
+        streamed = profile_benchmark(
+            benchmark_name, streaming=True, batch_size=BATCH
+        )
+        monitor = streamed.monitor
+        assert monitor.n_accepted > BATCH  # the bound was actually exercised
+        assert 0 < monitor.peak_resident <= BATCH
+
+    def test_sink_mode_retains_nothing(self, benchmark_name):
+        streamed = profile_benchmark(
+            benchmark_name, streaming=True, batch_size=BATCH
+        )
+        assert streamed.monitor.samples == []
+        assert streamed.postmortem.runtime_samples == []
+        # ...but the counts still tell the whole story.
+        assert streamed.postmortem.n_runtime > 0
+        assert streamed.monitor.dataset_size_bytes() > 0
+
+    def test_retain_mode_counters_match_list(self, benchmark_name):
+        retained = profile_benchmark(benchmark_name)
+        monitor = retained.monitor
+        assert monitor.n_accepted == len(monitor.samples)
+        assert monitor.peak_resident == 0  # never tracked without a sink
+        assert monitor.dataset_size_bytes() == sum(
+            8 + 8 * len(s.stack) for s in monitor.samples
+        )
+
+
+class TestConsumerContract:
+    def samples_of(self, name):
+        return list(profile_benchmark(name).monitor.samples)
+
+    def test_chunked_feed_equals_one_shot(self):
+        result = profile_benchmark("minimd")
+        samples = self.samples_of("minimd")
+        one_shot = process_samples(
+            result.module,
+            samples,
+            options=result.static_info.options,
+            tolerant=True,
+        )
+        consumer = PostmortemConsumer(
+            result.module, options=result.static_info.options, tolerant=True
+        )
+        for k in range(0, len(samples), 7):
+            consumer.feed(samples[k : k + 7])
+        chunked = consumer.finish()
+        assert chunked.instances == one_shot.instances
+        assert chunked.n_raw == one_shot.n_raw
+        assert chunked.n_runtime == one_shot.n_runtime
+
+    def test_finish_twice_and_feed_after_finish_raise(self):
+        result = profile_benchmark("minimd")
+        consumer = PostmortemConsumer(result.module)
+        consumer.finish()
+        with pytest.raises(RuntimeError):
+            consumer.finish()
+        with pytest.raises(RuntimeError):
+            consumer.feed([])
+
+    def test_evidence_window_bounds_pending_candidates(self):
+        result = profile_benchmark("minimd")
+        injector = FaultInjector(
+            FaultPlan.parse(FAULT_SPEC), module=result.module
+        )
+        degraded = injector.degrade_samples(self.samples_of("minimd"))
+        window = 4
+        consumer = PostmortemConsumer(
+            result.module,
+            options=result.static_info.options,
+            tolerant=True,
+            evidence_window=window,
+        )
+        for k in range(0, len(degraded), 16):
+            consumer.feed(degraded[k : k + 16])
+            assert consumer.pending_candidates <= window
+        pm = consumer.finish()
+        # Bounded-window recovery is best effort but must not lose
+        # samples: every degraded record is either an instance, a
+        # runtime sample, quarantined, or explicitly unknown.
+        assert (
+            pm.n_user + pm.n_runtime + len(pm.quarantined) + pm.n_unknown
+            == pm.n_raw
+        )
+
+    def test_evidence_window_validation(self):
+        result = profile_benchmark("minimd")
+        with pytest.raises(ValueError):
+            PostmortemConsumer(result.module, evidence_window=0)
+
+
+class TestStreamingDegrader:
+    def test_chunking_invariant(self):
+        samples = list(profile_benchmark("minimd").monitor.samples)
+        module = profile_benchmark("minimd").module
+        plan = FaultPlan.parse(FAULT_SPEC)
+        whole = FaultInjector(plan, module=module).degrade_samples(samples)
+        for chunk in (1, 5, 64):
+            degrade = FaultInjector(plan, module=module).degrader()
+            piecewise = []
+            for k in range(0, len(samples), chunk):
+                piecewise.extend(degrade(samples[k : k + chunk]))
+            assert piecewise == whole, f"chunk={chunk}"
+
+    def test_clean_plan_degrader_is_identity(self):
+        samples = list(profile_benchmark("minimd").monitor.samples)
+        degrade = FaultInjector(FaultPlan()).degrader()
+        assert degrade(samples) == samples

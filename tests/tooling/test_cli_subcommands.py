@@ -1,0 +1,184 @@
+"""The subcommand CLI: profile/view/merge/diff wiring, --version, and
+graceful failure on unknown commands and damaged artifacts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.tooling.cli import main as cli_main
+
+SOURCE = """
+config const n = 150;
+var A: [0..#n] real;
+forall i in 0..#n {
+  A[i] = i * 2.0;
+}
+var total = 0.0;
+for i in 0..#n {
+  total += A[i];
+}
+"""
+
+FAST_ARGS = ["--threads", "2", "--threshold", "997"]
+
+
+@pytest.fixture()
+def source_file(tmp_path):
+    f = tmp_path / "prog.chpl"
+    f.write_text(SOURCE)
+    return str(f)
+
+
+@pytest.fixture()
+def artifact(source_file, tmp_path, capsys):
+    path = tmp_path / "run.cbp"
+    rc = cli_main(
+        ["profile", source_file, "-o", str(path), "--view", "none", *FAST_ARGS]
+    )
+    assert rc == 0
+    capsys.readouterr()
+    return str(path)
+
+
+class TestDispatch:
+    def test_version_flag(self, capsys):
+        assert cli_main(["--version"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("repro ")
+
+    def test_no_args_prints_usage(self, capsys):
+        assert cli_main([]) == 2
+        assert "usage:" in capsys.readouterr().err
+
+    def test_unknown_command_exits_2_with_usage(self, capsys):
+        assert cli_main(["frobnicate"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown command 'frobnicate'" in err
+        assert "usage:" in err
+
+    def test_legacy_form_still_profiles(self, source_file, capsys):
+        rc = cli_main([source_file, "--view", "data", *FAST_ARGS])
+        assert rc == 0
+        assert "Data-centric view" in capsys.readouterr().out
+
+    def test_missing_source_is_a_clean_error(self, tmp_path, capsys):
+        rc = cli_main(["profile", str(tmp_path / "nope.chpl")])
+        assert rc == 2
+        assert "repro-profile:" in capsys.readouterr().err
+
+
+class TestProfileAndView:
+    def test_view_output_byte_identical_to_live(
+        self, source_file, tmp_path, capsys
+    ):
+        art = tmp_path / "run.cbp"
+        rc = cli_main(
+            [
+                "profile", source_file, "-o", str(art),
+                "--view", "all", "--top", "10", *FAST_ARGS,
+            ]
+        )
+        assert rc == 0
+        live = capsys.readouterr().out
+
+        rc = cli_main(["view", str(art), "--view", "all", "--top", "10"])
+        assert rc == 0
+        replayed = capsys.readouterr().out
+        # The view subcommand's whole stdout (all three windows) must
+        # appear verbatim inside the live profile output.
+        assert replayed in live
+
+    def test_streaming_profile_matches(self, source_file, tmp_path, capsys):
+        rc = cli_main(["profile", source_file, "--view", "data", *FAST_ARGS])
+        assert rc == 0
+        live = capsys.readouterr().out
+        rc = cli_main(
+            [
+                "profile", source_file, "--view", "data", "--streaming",
+                "--batch-size", "16", *FAST_ARGS,
+            ]
+        )
+        assert rc == 0
+        assert capsys.readouterr().out == live
+
+    def test_streaming_refuses_save_samples(self, source_file, tmp_path):
+        with pytest.raises(SystemExit):
+            cli_main(
+                [
+                    "profile", source_file, "--streaming",
+                    "--save-samples", str(tmp_path / "s.jsonl"), *FAST_ARGS,
+                ]
+            )
+
+    def test_view_meta_line(self, artifact, capsys):
+        rc = cli_main(["view", artifact, "--meta", "--view", "data"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "profile of" in out
+        assert "threshold 997" in out
+
+    def test_view_html_export(self, artifact, tmp_path, capsys):
+        html = tmp_path / "report.html"
+        rc = cli_main(["view", artifact, "--html", str(html)])
+        assert rc == 0
+        assert html.read_text().startswith("<!DOCTYPE html>")
+
+    def test_view_missing_artifact(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as exc:
+            cli_main(["view", str(tmp_path / "missing.cbp")])
+        assert exc.value.code in (1, 2)
+        assert "repro-profile:" in capsys.readouterr().err
+
+    def test_view_corrupt_artifact_exits_1(self, artifact, tmp_path, capsys):
+        lines = open(artifact).read().splitlines()
+        bad = tmp_path / "bad.cbp"
+        bad.write_text("\n".join(lines[:-1]) + "\n")
+        with pytest.raises(SystemExit) as exc:
+            cli_main(["view", str(bad)])
+        assert exc.value.code == 1
+        assert "truncated" in capsys.readouterr().err
+
+
+class TestMergeDiff:
+    def test_merge_two_shards(self, artifact, source_file, tmp_path, capsys):
+        other = tmp_path / "run2.cbp"
+        rc = cli_main(
+            ["profile", source_file, "-o", str(other), "--view", "none", *FAST_ARGS]
+        )
+        assert rc == 0
+        capsys.readouterr()
+        merged = tmp_path / "merged.cbp"
+        rc = cli_main(
+            ["merge", str(merged), artifact, str(other), "--view", "data"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "[merged 2 artifact(s)" in out
+        assert "Data-centric view" in out
+        from repro.artifact import read_artifact
+
+        snapshot = read_artifact(str(merged))
+        assert snapshot.meta.kind == "merged"
+
+    def test_merge_records_missing_locales(self, artifact, tmp_path, capsys):
+        merged = tmp_path / "merged.cbp"
+        rc = cli_main(
+            ["merge", str(merged), artifact, "--missing-locales", "1,2"]
+        )
+        assert rc == 0
+        assert "missing locales [1, 2]" in capsys.readouterr().out
+        from repro.artifact import read_artifact
+
+        assert read_artifact(str(merged)).report.missing_locales == (1, 2)
+
+    def test_diff_prints_blame_shift(self, artifact, tmp_path, capsys):
+        rc = cli_main(["diff", artifact, artifact])
+        assert rc == 0
+        assert "Blame shift:" in capsys.readouterr().out
+
+    def test_diff_labels(self, artifact, capsys):
+        rc = cli_main(
+            ["diff", artifact, artifact, "--label-a", "before", "--label-b", "after"]
+        )
+        assert rc == 0
+        assert "Blame shift: before -> after" in capsys.readouterr().out
