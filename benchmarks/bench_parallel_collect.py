@@ -1,0 +1,187 @@
+"""P1 — Sharded post-mortem/attribution scaling (the --workers path).
+
+Measures, per paper workload, over one collected sample stream:
+
+* ``serial_seconds``   — the unsharded post-mortem + attribution pass;
+* per worker count N   — the sharded two-phase pipeline
+  (:func:`repro.pipeline.parallel.parallel_postmortem`, inline backend),
+  recording each shard's worker-measured time, the parent's phase-2
+  resolve/assembly time, and the **modeled critical-path speedup**
+  ``serial / (max(shard_seconds) + resolve_seconds)`` — what the wall
+  clock would show with one idle core per worker.
+
+The modeled number is reported *as* modeled, never passed off as wall
+time: CI hosts (and the recording host — see ``host.cpu_count`` in
+``BENCH_parallel.json``) may have fewer cores than workers, where real
+pool wall time measures contention, not the algorithm.  The inline
+backend runs the identical shard tasks without transport, so the shard
+timings are the honest per-worker costs and the bit-identity assertion
+below exercises every seam except pickling (covered by the tier-1
+process-backend tests).
+
+Every measured configuration also asserts exact equality with the
+serial post-mortem on the same stream — a scaling number for a wrong
+answer would be worthless.
+
+Results land in ``BENCH_parallel.json`` at the repository root.  Run
+directly (``python benchmarks/bench_parallel_collect.py``) or via
+pytest; the pytest smoke asserts bit-identity always, and only a
+generous speedup floor so shared CI hosts never flake — representative
+numbers live in the JSON.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+
+from repro.bench.programs import lulesh, minimd
+from repro.pipeline import (
+    analyze_stage,
+    attribute_stage,
+    collect_stage,
+    compile_stage,
+    parallel_postmortem,
+    postmortem_stage,
+)
+
+NUM_THREADS = 12
+THRESHOLD = 4999
+WORKER_COUNTS = (1, 2, 4, 8)
+ROUNDS = 5
+
+RESULT_PATH = os.path.join(
+    os.path.dirname(__file__), "..", "BENCH_parallel.json"
+)
+
+WORKLOADS = {
+    "minimd": ("minimd.chpl", lambda: minimd.build_source(), minimd.config_for),
+    "lulesh": ("lulesh.chpl", lambda: lulesh.build_source(), lulesh.config_for),
+}
+
+
+def _timed(fn) -> tuple[float, object]:
+    t0 = time.perf_counter()
+    out = fn()
+    return time.perf_counter() - t0, out
+
+
+def _best_of(fn) -> tuple[float, object]:
+    best, keep = float("inf"), None
+    for _ in range(ROUNDS):
+        t, out = _timed(fn)
+        if t < best:
+            best, keep = t, out
+    return best, keep
+
+
+def measure_workload(name: str) -> dict:
+    filename, build, config_for = WORKLOADS[name]
+    module = compile_stage(build(), filename)
+    static = analyze_stage(module)
+    coll = collect_stage(
+        module,
+        config=config_for(),
+        num_threads=NUM_THREADS,
+        threshold=THRESHOLD,
+    )
+    samples = coll.monitor.samples
+    wall = coll.run_result.wall_seconds
+
+    def serial_pass():
+        pm = postmortem_stage(module, samples, options=static.options)
+        return pm, attribute_stage(static, pm)
+
+    serial_seconds, (serial_pm, serial_attr) = _best_of(serial_pass)
+
+    sweep = {}
+    for workers in WORKER_COUNTS:
+        best = None
+        for _ in range(ROUNDS):
+            par = parallel_postmortem(
+                module, static, samples,
+                workers=workers, backend="inline", wall_seconds=wall,
+            )
+            # A scaling number for a wrong answer would be worthless.
+            assert par.postmortem == serial_pm, f"{name} w={workers}"
+            assert par.attribution == serial_attr, f"{name} w={workers}"
+            if best is None or (
+                par.critical_path_seconds < best.critical_path_seconds
+            ):
+                best = par
+        sweep[str(workers)] = {
+            "shard_sizes": best.shard_sizes,
+            "max_shard_seconds": round(max(best.shard_seconds), 5),
+            "resolve_seconds": round(best.resolve_seconds, 5),
+            "assemble_seconds": round(best.assemble_seconds, 5),
+            "critical_path_seconds": round(best.critical_path_seconds, 5),
+            "inline_pool_wall_seconds": round(best.pool_seconds, 5),
+            "modeled_speedup": round(
+                serial_seconds / max(best.critical_path_seconds, 1e-9), 2
+            ),
+        }
+    return {
+        "n_samples": len(samples),
+        "serial_seconds": round(serial_seconds, 5),
+        "workers": sweep,
+    }
+
+
+def run_parallel_bench() -> dict:
+    results = {
+        "config": {
+            "num_threads": NUM_THREADS,
+            "threshold": THRESHOLD,
+            "backend": "inline",
+            "metric": (
+                "modeled critical-path speedup: serial /"
+                " (max worker-measured shard time + parent resolve);"
+                " see module docstring"
+            ),
+        },
+        "host": {
+            "cpu_count": os.cpu_count(),
+            "python": sys.version.split()[0],
+        },
+        "workloads": {name: measure_workload(name) for name in WORKLOADS},
+    }
+    with open(os.path.abspath(RESULT_PATH), "w") as f:
+        json.dump(results, f, indent=2)
+        f.write("\n")
+    return results
+
+
+def render(results: dict) -> str:
+    lines = [
+        "sharded post-mortem scaling (modeled critical-path speedup, "
+        f"host cores: {results['host']['cpu_count']})"
+    ]
+    for name, r in results["workloads"].items():
+        lines.append(
+            f"  {name:7s} {r['n_samples']:6d} samples  "
+            f"serial {r['serial_seconds']:.3f}s"
+        )
+        for w, s in r["workers"].items():
+            lines.append(
+                f"    w={w}: critical path {s['critical_path_seconds']:.3f}s"
+                f" (max shard {s['max_shard_seconds']:.3f}s"
+                f" + resolve {s['resolve_seconds']:.3f}s)"
+                f"  -> {s['modeled_speedup']:.2f}x"
+            )
+    return "\n".join(lines)
+
+
+def test_parallel_scaling():
+    results = run_parallel_bench()
+    print("\n" + render(results))
+    for name, r in results["workloads"].items():
+        # Generous CI floor; representative numbers live in the JSON
+        # (>= 2.5x at 4 workers on LULESH on the recording host).
+        w4 = r["workers"]["4"]["modeled_speedup"]
+        assert w4 > 1.8, f"{name}: {w4}x at 4 workers"
+
+
+if __name__ == "__main__":
+    print(render(run_parallel_bench()))

@@ -35,6 +35,7 @@ from .model import (
     FunctionCatalog,
     ProfileSnapshot,
     SnapshotPostmortem,
+    canonicalize_timings,
     snapshot_from_result,
 )
 
@@ -48,6 +49,7 @@ __all__ = [
     "ProfileSnapshot",
     "SnapshotPostmortem",
     "artifact_bytes",
+    "canonicalize_timings",
     "diff_reports",
     "diff_snapshots",
     "merge_snapshots",

@@ -22,7 +22,10 @@ from .model import (
     SnapshotPostmortem,
 )
 
-#: Fault-injection counters that sum across shards.
+#: Fault-injection counters every injector version reports; they lead
+#: the merged dict in this stable order.  Counters outside this tuple
+#: (new injector modes) are preserved and summed too — first-seen order
+#: after the known ones — instead of being silently dropped.
 _FAULT_COUNTERS = (
     "examined", "dropped", "corrupted", "truncated", "tags_lost", "stripped",
 )
@@ -35,9 +38,13 @@ def _merge_fault_stats(snaps: list[ProfileSnapshot]) -> dict | None:
     out: dict = {k: 0 for k in _FAULT_COUNTERS}
     stripped: set[str] = set()
     for fs in present:
-        for k in _FAULT_COUNTERS:
-            out[k] += int(fs.get(k, 0))
-        stripped.update(fs.get("stripped_functions", ()))
+        for k, v in fs.items():
+            if k == "stripped_functions":
+                stripped.update(v or ())
+            elif isinstance(v, (int, float)) and not isinstance(v, bool):
+                out[k] = out.get(k, 0) + v
+            # Non-numeric values (flags, labels) have no meaningful sum;
+            # they are dropped as before.
     out["stripped_functions"] = sorted(stripped)
     return out
 
@@ -51,9 +58,12 @@ def merge_snapshots(
 
     ``missing_locales`` (locales that crashed or timed out and produced
     no artifact) is carried onto the merged report exactly as the
-    in-memory aggregation always carried it.  A single snapshot with no
-    missing locales merges to itself — the single-locale base case stays
-    the identity it has always been.
+    in-memory aggregation always carried it — deduplicated and sorted
+    (a locale can both crash and be reported missing by a sibling), and
+    unioned with coverage gaps the input snapshots already carry (an
+    input that is itself a merge).  A single snapshot with no missing
+    locales merges to itself — the single-locale base case stays the
+    identity it has always been.
 
     Snapshots recorded from *different* program sources refuse to merge
     (that is a job for :mod:`repro.artifact.diff`, not aggregation).
@@ -62,7 +72,7 @@ def merge_snapshots(
         raise ArtifactError(
             "no artifacts to merge"
             + (
-                f" (missing locales: {sorted(missing_locales)})"
+                f" (missing locales: {sorted(set(missing_locales))})"
                 if missing_locales
                 else ""
             )

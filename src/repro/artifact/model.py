@@ -179,19 +179,44 @@ def _tool_version() -> str:
         return __version__
 
 
+def canonicalize_timings(snapshot: ProfileSnapshot) -> ProfileSnapshot:
+    """Returns the snapshot with host-measured timings zeroed.
+
+    ``postmortem_seconds`` is wall-clock measured on the profiling host
+    (unlike ``wall_seconds``, which is simulated and deterministic), so
+    two otherwise-identical runs differ in exactly that one stats field.
+    Zeroing it makes the serialized artifact a pure function of the run
+    — the property the parallel path's bit-identity gate (and any
+    byte-compare of artifacts across repeat runs) relies on.  No view
+    displays the field, so rendered output is unaffected.  The input
+    snapshot is not mutated.
+    """
+    stats = snapshot.report.stats
+    if stats.postmortem_seconds == 0.0:
+        return snapshot
+    report = replace(
+        snapshot.report, stats=replace(stats, postmortem_seconds=0.0)
+    )
+    return replace(snapshot, report=report)
+
+
 def snapshot_from_result(
     result,
     source_sha256: str | None = None,
     threshold: int | None = None,
     num_threads: int | None = None,
     locale_id: int | None = None,
+    canonical_timings: bool = False,
 ) -> ProfileSnapshot:
     """Builds the artifact model from a live
     :class:`~repro.tooling.profiler.ProfileResult`.
 
     The snapshot *references* the result's report (it does not copy it),
     so rendering from the snapshot is rendering from the identical
-    object — the cheap end of the byte-identity guarantee.
+    object — the cheap end of the byte-identity guarantee.  Pass
+    ``canonical_timings=True`` to zero the host-measured
+    ``postmortem_seconds`` (in a copied report) so the serialized bytes
+    are reproducible across runs; see :func:`canonicalize_timings`.
     """
     pm = result.postmortem
     unknown = [(d.reason, d.sample.index) for d in pm.unknown]
@@ -219,7 +244,7 @@ def snapshot_from_result(
             if hasattr(result.fault_stats, "as_dict")
             else dict(result.fault_stats)
         )
-    return ProfileSnapshot(
+    snapshot = ProfileSnapshot(
         meta=meta,
         report=result.report,
         catalog=FunctionCatalog.from_module(result.module),
@@ -233,6 +258,7 @@ def snapshot_from_result(
         ),
         fault_stats=fault_stats,
     )
+    return canonicalize_timings(snapshot) if canonical_timings else snapshot
 
 
 def relabel(meta: ArtifactMeta, **changes) -> ArtifactMeta:

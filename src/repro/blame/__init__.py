@@ -12,11 +12,23 @@ Dynamic side (step 3): :mod:`postmortem` (stack gluing) and
 """
 
 from .aggregate import merge_reports
-from .attribution import AttributionResult, BlameAttributor, VariableBlame
+from .attribution import (
+    AttributionResult,
+    BlameAttributor,
+    VariableBlame,
+    merge_attributions,
+)
 from .options import ABLATIONS, FULL, BlameOptions
 from .dataflow import RET_KEY, DataFlow, VarKey, VarMeta, render_path
 from .exit_vars import ExitVars, compute_exit_vars
-from .postmortem import Instance, PostmortemResult, process_samples
+from .postmortem import (
+    Instance,
+    PostmortemConsumer,
+    PostmortemResult,
+    ShardEvidence,
+    ShardState,
+    process_samples,
+)
 from .report import BlameReport, BlameRow, RunStats, build_rows, path_type
 from .slices import BlameSets, SliceGraph, compute_blame_sets
 from .static_info import FunctionBlameInfo, ModuleBlameInfo
@@ -25,9 +37,10 @@ from .transfer import TransferFunction, TransferResult
 __all__ = [
     "ABLATIONS", "AttributionResult", "BlameAttributor", "BlameOptions", "BlameReport", "BlameRow",
     "BlameSets", "DataFlow", "ExitVars", "FunctionBlameInfo", "Instance",
-    "ModuleBlameInfo", "PostmortemResult", "RET_KEY", "RunStats",
+    "ModuleBlameInfo", "PostmortemConsumer", "PostmortemResult", "RET_KEY", "RunStats",
+    "ShardEvidence", "ShardState",
     "FULL", "SliceGraph", "TransferFunction", "TransferResult", "VarKey",
     "VarMeta", "VariableBlame", "build_rows", "compute_blame_sets",
-    "compute_exit_vars", "merge_reports", "path_type", "process_samples",
+    "compute_exit_vars", "merge_attributions", "merge_reports", "path_type", "process_samples",
     "render_path",
 ]

@@ -39,7 +39,7 @@ def merge_reports(
     if not reports:
         raise AggregationError(
             "no reports to merge"
-            + (f" (missing locales: {sorted(missing_locales)})" if missing_locales else "")
+            + (f" (missing locales: {sorted(set(missing_locales))})" if missing_locales else "")
         )
     if len(reports) == 1 and not missing_locales:
         return reports[0]
@@ -49,6 +49,12 @@ def merge_reports(
     total_user = 0
     total_unknown = 0
     stats = RunStats()
+    # A locale can be reported missing by several siblings (or by the
+    # caller AND by an input that is itself a merge) — dedupe, and union
+    # in coverage gaps the input reports already carry.
+    missing: set[int] = set(missing_locales)
+    for rep in reports:
+        missing.update(rep.missing_locales)
     for rep in reports:
         total_user += rep.stats.user_samples
         total_unknown += rep.stats.unknown_samples
@@ -100,5 +106,5 @@ def merge_reports(
         locale_id=-1,
         unknown_by_reason=_merge_reason_counts(reports, "unknown_by_reason"),
         quarantine_by_reason=_merge_reason_counts(reports, "quarantine_by_reason"),
-        missing_locales=tuple(sorted(missing_locales)),
+        missing_locales=tuple(sorted(missing)),
     )

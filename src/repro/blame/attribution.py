@@ -68,6 +68,38 @@ class AttributionResult:
         return 0.0
 
 
+def merge_attributions(parts: list[AttributionResult]) -> AttributionResult:
+    """Combines per-shard attribution results by pure row summation.
+
+    Blame combines by row-count addition (the paper's counts are sample
+    tallies), so merging shard attributions in shard order — rows keyed
+    by ``(context, name)``, samples summed, metadata from the first
+    occurrence — reproduces the unsharded attribution exactly: row
+    *content* is identical, and every consumer orders rows through
+    ``sorted_rows`` (a total order on the unique keys), so dict
+    insertion order is immaterial.  Input rows are copied, never
+    mutated, and an empty part merges as the identity.
+    """
+    rows: dict[tuple[str, str], VariableBlame] = {}
+    total = 0
+    for part in parts:
+        total += part.total_samples
+        for key, row in part.rows.items():
+            merged = rows.get(key)
+            if merged is None:
+                rows[key] = VariableBlame(
+                    name=row.name,
+                    context=row.context,
+                    type=row.type,
+                    is_temp=row.is_temp,
+                    samples=row.samples,
+                    is_path=row.is_path,
+                )
+            else:
+                merged.samples += row.samples
+    return AttributionResult(rows=rows, total_samples=total)
+
+
 def _user_context(module: Module, func_name: str) -> str:
     """Display context: outlined parallel-loop bodies report under the
     user function whose loop was outlined (chasing nested outlining)."""

@@ -148,6 +148,23 @@ def store_function_info(fn: Function, key: tuple, info) -> None:
     fn.__dict__[_FN_ATTR] = (key, info)
 
 
+def cached_module_info(module: Module, options, fingerprint: str):
+    """Returns the ModuleBlameInfo cached on ``module`` for ``options``
+    if its stored fingerprint matches, else None (counting hit/miss)."""
+    cache = module.__dict__.setdefault(_MOD_ATTR, {})
+    entry = cache.get(options)
+    if entry is not None and entry[0] == fingerprint:
+        STATS.module_hits += 1
+        return entry[1]
+    STATS.module_misses += 1
+    return None
+
+
+def store_module_info(module: Module, options, fingerprint: str, info) -> None:
+    cache = module.__dict__.setdefault(_MOD_ATTR, {})
+    cache[options] = (fingerprint, info)
+
+
 def cached_module_blame_info(module: Module, options: "object | None" = None):
     """Module-level entry point: returns a (possibly cached)
     :class:`~repro.blame.static_info.ModuleBlameInfo`.
@@ -163,12 +180,9 @@ def cached_module_blame_info(module: Module, options: "object | None" = None):
 
     opts = options or FULL
     fp = module_fingerprint(module)
-    cache = module.__dict__.setdefault(_MOD_ATTR, {})
-    entry = cache.get(opts)
-    if entry is not None and entry[0] == fp:
-        STATS.module_hits += 1
-        return entry[1]
-    STATS.module_misses += 1
+    info = cached_module_info(module, opts, fp)
+    if info is not None:
+        return info
     info = ModuleBlameInfo(module, options=opts)
-    cache[opts] = (fp, info)
+    store_module_info(module, opts, fp, info)
     return info

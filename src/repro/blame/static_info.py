@@ -45,6 +45,64 @@ class FunctionBlameInfo:
         return m
 
 
+def compute_global_aliases(
+    module: Module, options: "object | None" = None
+) -> dict[VarKey, frozenset[Root]]:
+    """Phase 1 of the static analysis: module-wide alias facts.
+
+    A data-flow pass over every function collects which globals hold
+    aliases of which (e.g. module init storing a slice of ``Pos`` into
+    ``RealPos``), iterated so aliases of aliases converge.  Cheap and
+    inherently whole-module, so the parallel analyzer runs it serially
+    in the parent before fanning out the per-function phase 2.
+    """
+    from .options import FULL
+
+    options = options or FULL
+    global_aliases: dict[VarKey, frozenset[Root]] = {}
+    for _round in range(3):
+        merged: dict[VarKey, set[Root]] = {
+            k: set(v) for k, v in global_aliases.items()
+        }
+        for fn in module.functions.values():
+            df = DataFlow(fn, module, global_aliases=global_aliases, options=options)
+            for key, roots in df.stored_roots.items():
+                if key.kind == "global":
+                    merged.setdefault(key, set()).update(
+                        r for r in roots if r[0].kind == "global"
+                    )
+        new_aliases = {k: frozenset(v) for k, v in merged.items()}
+        if new_aliases == global_aliases:
+            break
+        global_aliases = new_aliases
+    return global_aliases
+
+
+def analyze_function(
+    fn: Function,
+    module: Module,
+    global_aliases: "dict[VarKey, frozenset[Root]]",
+    options: "object | None" = None,
+) -> FunctionBlameInfo:
+    """Phase 2 for one function: the full per-function analyses with the
+    module-wide alias facts visible.  Pure in the function's IR, the
+    module context, the aliases and the options — which is what lets the
+    parallel analyzer run it on a pickled module copy in a worker and
+    still get content-identical results (blame sets are keyed by
+    instruction ids, which survive pickling unchanged)."""
+    from .options import FULL
+
+    options = options or FULL
+    df = DataFlow(fn, module, global_aliases=global_aliases, options=options)
+    return FunctionBlameInfo(
+        function=fn,
+        dataflow=df,
+        blame_sets=compute_blame_sets(fn, df),
+        exit_vars=compute_exit_vars(fn, df),
+        transfer=TransferFunction(df),
+    )
+
+
 class ModuleBlameInfo:
     """Static blame info for every function in a module.
 
@@ -62,25 +120,8 @@ class ModuleBlameInfo:
         self.options = options or FULL
         self.functions: dict[str, FunctionBlameInfo] = {}
 
-        # Phase 1: collect global alias facts (iterate: aliases of
-        # aliases, e.g. a slice of RealPos, converge in a few rounds).
-        global_aliases: dict[VarKey, frozenset[Root]] = {}
-        for _round in range(3):
-            merged: dict[VarKey, set[Root]] = {
-                k: set(v) for k, v in global_aliases.items()
-            }
-            for fn in module.functions.values():
-                df = DataFlow(fn, module, global_aliases=global_aliases, options=self.options)
-                for key, roots in df.stored_roots.items():
-                    if key.kind == "global":
-                        merged.setdefault(key, set()).update(
-                            r for r in roots if r[0].kind == "global"
-                        )
-            new_aliases = {k: frozenset(v) for k, v in merged.items()}
-            if new_aliases == global_aliases:
-                break
-            global_aliases = new_aliases
-        self.global_aliases = global_aliases
+        # Phase 1 (see compute_global_aliases).
+        self.global_aliases = compute_global_aliases(module, self.options)
 
         # Phase 2: full per-function analyses with aliases visible.
         # Results are cached on each Function, keyed by content hashes of
@@ -90,21 +131,37 @@ class ModuleBlameInfo:
         from . import cache as _cache
 
         sig_fp = _cache.module_signatures_fingerprint(module)
-        aliases_fp = _cache.aliases_fingerprint(global_aliases)
+        aliases_fp = _cache.aliases_fingerprint(self.global_aliases)
         for name, fn in module.functions.items():
             key = (_cache.function_fingerprint(fn), sig_fp, aliases_fp, self.options)
             info = _cache.cached_function_info(fn, key)
             if info is None:
-                df = DataFlow(fn, module, global_aliases=global_aliases, options=self.options)
-                info = FunctionBlameInfo(
-                    function=fn,
-                    dataflow=df,
-                    blame_sets=compute_blame_sets(fn, df),
-                    exit_vars=compute_exit_vars(fn, df),
-                    transfer=TransferFunction(df),
+                info = analyze_function(
+                    fn, module, self.global_aliases, self.options
                 )
                 _cache.store_function_info(fn, key, info)
             self.functions[name] = info
+
+    @classmethod
+    def from_parts(
+        cls,
+        module: Module,
+        options: object,
+        global_aliases: "dict[VarKey, frozenset[Root]]",
+        functions: "dict[str, FunctionBlameInfo]",
+    ) -> "ModuleBlameInfo":
+        """Assembles a ModuleBlameInfo from externally computed pieces
+        (the parallel analyzer's reassembly seam).  ``module`` should be
+        the *parent* module object even when some ``functions`` entries
+        were computed against pickled copies: display-name resolution
+        (``_user_context``) goes through this attribute, and the copies
+        are content-identical where the analyses are concerned."""
+        info = cls.__new__(cls)
+        info.module = module
+        info.options = options
+        info.global_aliases = global_aliases
+        info.functions = dict(functions)
+        return info
 
     def info_for(self, func_name: str) -> FunctionBlameInfo | None:
         return self.functions.get(func_name)

@@ -48,6 +48,12 @@ class ArtifactVersionError(ArtifactError):
     generation, not from corruption)."""
 
 
+class ParallelError(ReproError, ValueError):
+    """The parallel collection pipeline was misconfigured (bad worker
+    count, unavailable pool backend, or an option that has no faithful
+    sharded equivalent, like streaming mode with multiple workers)."""
+
+
 class LocaleError(ReproError):
     """Base for per-locale failures in the multi-locale harness."""
 

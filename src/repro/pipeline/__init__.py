@@ -1,7 +1,17 @@
 """Staged profiling pipeline (compile → analyze → collect → post-mortem
 → aggregate → render) with the ``.cbp`` artifact as the contract
-between collection and presentation."""
+between collection and presentation.  :mod:`repro.pipeline.parallel`
+shards post-mortem/attribution/analysis across worker pools with
+bit-identical results."""
 
+from .parallel import (
+    BACKENDS,
+    ParallelPostmortem,
+    interpreter_pool_available,
+    parallel_analyze,
+    parallel_postmortem,
+    resolve_backend,
+)
 from .stages import (
     VIEWS,
     Collection,
@@ -15,13 +25,18 @@ from .stages import (
 )
 
 __all__ = [
+    "BACKENDS",
     "VIEWS",
     "Collection",
+    "ParallelPostmortem",
     "aggregate_stage",
     "analyze_stage",
     "attribute_stage",
     "collect_stage",
     "compile_stage",
+    "interpreter_pool_available",
+    "parallel_analyze",
+    "parallel_postmortem",
     "postmortem_stage",
     "render_stage",
 ]

@@ -1,0 +1,550 @@
+"""Sharded parallel collection: pool-of-workers post-mortem, attribution
+and static analysis with a bit-identity guarantee (paper §IV.C).
+
+The paper observes that post-mortem processing and blame attribution are
+embarrassingly parallel once the sample stream is split — per-variable
+blame combines by pure row-count summation.  This module is that split:
+
+1. the parent collects (and, when injecting, degrades) one locale's
+   stream exactly as the serial path does;
+2. the stream is split into contiguous shards
+   (:mod:`repro.sampling.sharding`) and each shard's consolidation +
+   attribution runs in a pool worker (phase 1).  Workers stop *before*
+   resolving degraded candidates — recovery evidence spans the whole
+   stream — and ship back a
+   :class:`~repro.blame.postmortem.ShardState`;
+3. the parent merges the per-shard evidence in stream order and
+   resolves every held-back candidate against it (phase 2), which
+   reproduces the serial recovery outcome exactly;
+4. per-shard partial :class:`~repro.artifact.model.ProfileSnapshot`\\ s
+   (plus one "tail" snapshot carrying the phase-2 outcome and the
+   run-level counters) are reassembled with
+   :func:`~repro.artifact.merge.merge_snapshots` — the same merge
+   contract the multi-locale harness uses — into a snapshot that is
+   **bit-identical** to the serial path's artifact.
+
+Pool backends
+-------------
+
+``process``
+    :class:`concurrent.futures.ProcessPoolExecutor`; worker state
+    (module, static info, options) ships once per worker through a
+    pickled initializer blob.
+``interpreter``
+    :class:`concurrent.futures.InterpreterPoolExecutor` — one
+    subinterpreter per worker, cheaper than processes.  Capability-gated:
+    only available on Python >= 3.14; requesting it earlier raises
+    :class:`~repro.errors.ParallelError`.
+``inline``
+    sequential in-process execution of the identical shard tasks (no
+    pickling, no pool).  This is the determinism witness used by the
+    equivalence tests and the critical-path benchmark — it exercises
+    every seam of the sharded pipeline except the transport.
+``auto``
+    ``interpreter`` when available, else ``process``.
+
+Why the result is bit-identical, not merely equivalent: shards are
+contiguous, so concatenating per-shard outputs preserves stream order;
+evidence merging is first-occurrence-wins in shard order, matching the
+serial consumer's ``setdefault``; candidates are resolved in global
+stream order against that evidence (which serial recovery never lets
+recovered paths feed back into); and blame rows combine by integer
+sample counts over the same denominator, so even the floating-point
+fractions come out identical.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from concurrent import futures as _cf
+from dataclasses import dataclass, field
+
+from ..artifact.merge import merge_snapshots
+from ..artifact.model import (
+    ArtifactMeta,
+    FunctionCatalog,
+    ProfileSnapshot,
+    SnapshotPostmortem,
+    relabel,
+    _tool_version,
+)
+from ..blame.attribution import (
+    AttributionResult,
+    BlameAttributor,
+    merge_attributions,
+)
+from ..blame.postmortem import (
+    PostmortemConsumer,
+    PostmortemResult,
+    ShardEvidence,
+)
+from ..blame.report import UNKNOWN_BUCKET
+from ..errors import ParallelError
+from ..sampling.sharding import shard_stream, shard_stream_weighted
+from ..sampling.stackwalk import StackResolver
+from .stages import aggregate_stage
+
+#: Worker-pool backends `resolve_backend` understands.
+BACKENDS = ("auto", "process", "interpreter", "inline")
+
+
+def postmortem_cost(sample) -> int:
+    """Relative post-mortem + attribution cost of one raw sample — the
+    weight the splitter balances shards by.
+
+    Measured on the paper workloads: a sample carrying a spawn tag
+    (a worker-task sample whose call path gets glued through the
+    recorded pre-spawn continuation) costs roughly four times an
+    ungled one; everything else (idle, runtime, plain user samples) is
+    near-uniform.  The proxy only has to *rank* work well — shards stay
+    contiguous either way, so a mediocre estimate costs balance, never
+    correctness."""
+    return 1 + 3 * (sample.spawn_tag is not None)
+
+
+def interpreter_pool_available() -> bool:
+    """True when this Python ships ``InterpreterPoolExecutor``
+    (subinterpreter workers, PEP 734 — Python >= 3.14)."""
+    return hasattr(_cf, "InterpreterPoolExecutor")
+
+
+def resolve_backend(backend: str = "auto") -> str:
+    """Maps a requested backend to a concrete one, capability-gated."""
+    if backend not in BACKENDS:
+        raise ParallelError(
+            f"unknown parallel backend {backend!r} "
+            f"(want one of {'|'.join(BACKENDS)})"
+        )
+    if backend == "auto":
+        return "interpreter" if interpreter_pool_available() else "process"
+    if backend == "interpreter" and not interpreter_pool_available():
+        raise ParallelError(
+            "the interpreter backend needs "
+            "concurrent.futures.InterpreterPoolExecutor (Python >= 3.14); "
+            "use --parallel-backend process or auto"
+        )
+    return backend
+
+
+# -- worker side --------------------------------------------------------------
+#
+# Worker state is module-level so pool tasks (which must be picklable
+# top-level functions) can reach it.  Process/interpreter pools populate
+# it via the initializer below, once per worker; the inline backend sets
+# it directly in the parent process.
+
+_WORKER: dict = {}
+
+
+def _set_worker_state(module, static_info, options, global_aliases) -> None:
+    _WORKER["module"] = module
+    _WORKER["static"] = static_info
+    _WORKER["options"] = options
+    _WORKER["aliases"] = global_aliases
+    # Indexing the module's instructions is per-module work, not
+    # per-shard work: build the resolver once per worker (alongside the
+    # unpickle) and let every shard's consumer share it.
+    _WORKER["resolver"] = StackResolver(module)
+
+
+def _init_worker(blob: bytes) -> None:
+    """Pool initializer: unpickles the shared per-worker state once, so
+    individual shard tasks only ever ship samples."""
+    _set_worker_state(*pickle.loads(blob))
+
+
+def _postmortem_shard(payload):
+    """Phase 1, in a worker: consolidate one shard and attribute its
+    intact instances.  Degraded candidates stay unresolved in the
+    returned :class:`~repro.blame.postmortem.ShardState`."""
+    shard_index, samples = payload
+    t0 = time.perf_counter()
+    consumer = PostmortemConsumer(
+        _WORKER["module"],
+        options=_WORKER["options"],
+        tolerant=True,
+        resolver=_WORKER["resolver"],
+    )
+    consumer.feed(samples)
+    state = consumer.shard_state()
+    attribution = BlameAttributor(_WORKER["static"]).attribute(state.instances)
+    return shard_index, state, attribution, time.perf_counter() - t0
+
+
+def _analyze_shard(names: "list[str]"):
+    """Static-analysis fan-out task: full per-function analyses for the
+    named functions, against the worker's module copy and the parent's
+    alias facts."""
+    from ..blame.static_info import analyze_function
+
+    module = _WORKER["module"]
+    aliases = _WORKER["aliases"]
+    options = _WORKER["options"]
+    return {
+        name: analyze_function(
+            module.functions[name], module, aliases, options
+        )
+        for name in names
+    }
+
+
+def _run_pool(backend, workers, state, task, payloads):
+    """Runs ``task`` over ``payloads`` on the chosen backend, returning
+    results in payload order plus the pool's wall time."""
+    t0 = time.perf_counter()
+    if backend == "inline":
+        _set_worker_state(*state)
+        results = [task(p) for p in payloads]
+    else:
+        blob = pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+        pool_cls = (
+            _cf.ProcessPoolExecutor
+            if backend == "process"
+            else _cf.InterpreterPoolExecutor
+        )
+        with pool_cls(
+            max_workers=max(1, min(workers, len(payloads))),
+            initializer=_init_worker,
+            initargs=(blob,),
+        ) as pool:
+            results = list(pool.map(task, payloads))
+    return results, time.perf_counter() - t0
+
+
+# -- parent side --------------------------------------------------------------
+
+
+@dataclass
+class ParallelPostmortem:
+    """Everything the sharded post-mortem produced.
+
+    ``postmortem`` / ``attribution`` are exactly what the serial
+    ``postmortem_stage`` → ``attribute_stage`` pair would have produced
+    on the unsharded stream; ``snapshot`` is the merged artifact model
+    (reassembled from ``shard_snapshots`` + a tail snapshot via
+    ``merge_snapshots``), byte-identical to the serial artifact once
+    timings are canonicalized.
+    """
+
+    postmortem: PostmortemResult
+    attribution: AttributionResult
+    snapshot: ProfileSnapshot
+    #: Per-shard partial profiles (what ``--shard-artifacts`` persists).
+    shard_snapshots: "list[ProfileSnapshot]" = field(default_factory=list)
+    #: The phase-2 partial profile: recovered instances, the whole
+    #: ``<unknown>`` bucket, ingest quarantine and run-level counters.
+    #: ``merge_snapshots(shard_snapshots + [tail_snapshot])`` is exactly
+    #: how ``snapshot`` was assembled.
+    tail_snapshot: "ProfileSnapshot | None" = None
+    #: Worker-measured seconds per shard (phase 1).
+    shard_seconds: "list[float]" = field(default_factory=list)
+    shard_sizes: "list[int]" = field(default_factory=list)
+    #: Parent-side phase-2 post-mortem/attribution work: evidence merge,
+    #: candidate resolution, tail attribution, attribution merge.
+    resolve_seconds: float = 0.0
+    #: Parent-side artifact assembly (partial snapshots + merge) — work
+    #: the serial path also does outside its post-mortem timing, so it
+    #: stays out of the scaling metric below.
+    assemble_seconds: float = 0.0
+    #: Wall time of the phase-1 fan-out as seen by the parent.
+    pool_seconds: float = 0.0
+    backend: str = ""
+    workers: int = 0
+
+    @property
+    def critical_path_seconds(self) -> float:
+        """Modeled parallel post-mortem + attribution time: the slowest
+        shard plus the serial phase-2 work — what the wall clock would
+        show with one idle core per worker (the scaling number the
+        benchmark reports honestly on hosts with fewer cores than
+        workers).  Apples-to-apples with a serial ``postmortem_stage`` +
+        ``attribute_stage`` timing: artifact assembly is excluded on
+        both sides (see ``assemble_seconds``)."""
+        return max(self.shard_seconds, default=0.0) + self.resolve_seconds
+
+
+def parallel_postmortem(
+    module,
+    static_info,
+    samples,
+    workers: int,
+    backend: str = "auto",
+    options=None,
+    program: str = "program.chpl",
+    wall_seconds: float = 0.0,
+    dataset_bytes: int = 0,
+    stackwalk_cycles: float = 0.0,
+    monitor_quarantine: "dict[str, int] | None" = None,
+    monitor_quarantine_provenance: "list[tuple[str, int]] | None" = None,
+    min_blame: float = 0.0,
+    include_temps: bool = False,
+    source_sha256: "str | None" = None,
+    threshold: int = 0,
+    num_threads: int = 0,
+    locale_id: int = 0,
+    fault_stats: "dict | None" = None,
+) -> ParallelPostmortem:
+    """Sharded post-mortem + attribution over one locale's (already
+    degraded) sample stream, reassembled through ``merge_snapshots``.
+
+    The caller passes the run-level context a serial
+    ``snapshot_from_result`` would have pulled off the live result
+    (monitor quarantine, dataset size, run identity); the degraded
+    stream must be the same bytes the serial path would consume —
+    degrade *before* sharding, never per-shard.
+    """
+    if workers < 1:
+        raise ParallelError(f"need at least one worker (got {workers})")
+    backend = resolve_backend(backend)
+    if options is None:
+        options = static_info.options
+
+    # Contiguous shards balanced by estimated post-mortem cost — the
+    # cut points move with the weights, the contiguity invariant (and
+    # with it bit-identity) does not.
+    shards = shard_stream_weighted(samples, workers, postmortem_cost)
+    state = (module, static_info, options, None)
+    results, pool_seconds = _run_pool(
+        backend, workers, state, _postmortem_shard,
+        [(i, shard) for i, shard in enumerate(shards)],
+    )
+    results.sort(key=lambda r: r[0])
+    states = [r[1] for r in results]
+    shard_attrs = [r[2] for r in results]
+    shard_seconds = [r[3] for r in results]
+
+    # Phase 2 (parent): merge evidence in shard (= stream) order, then
+    # resolve every held-back candidate in global stream order.  The
+    # stack resolver is built outside the timed region for the same
+    # reason the workers build theirs at pool setup: it is per-module
+    # work, not per-stream work.
+    parent_resolver = StackResolver(module)
+    t0 = time.perf_counter()
+    evidence = ShardEvidence.merge([st.evidence for st in states])
+    candidates = [c for st in states for c in st.candidates]
+    recovered, unknown, n_late = PostmortemConsumer.resolve_with_evidence(
+        module, candidates, evidence, options=options,
+        stack_resolver=parent_resolver,
+    )
+
+    # The exact serial PostmortemResult: intact instances in stream
+    # order, then recovered instances in candidate order — the order
+    # finish() emits them.
+    postmortem = PostmortemResult(
+        instances=[i for st in states for i in st.instances] + recovered,
+        runtime_samples=[s for st in states for s in st.runtime_samples],
+        n_raw=sum(st.n_raw for st in states),
+        unknown=unknown,
+        quarantined=[d for st in states for d in st.quarantined],
+        n_recovered=sum(st.n_repaired for st in states) + n_late,
+        n_runtime=sum(st.n_runtime for st in states),
+    )
+    tail_attr = BlameAttributor(static_info).attribute(recovered)
+    attribution = merge_attributions(shard_attrs + [tail_attr])
+    resolve_seconds = time.perf_counter() - t0
+
+    # Partial snapshots: one per shard (intact instances, shard-local
+    # counters) plus a tail snapshot carrying the phase-2 outcome
+    # (recovered instances, the whole <unknown> bucket), the ingest
+    # quarantine, and the run-level scalars (dataset bytes, stackwalk
+    # cycles) exactly once.  Every snapshot records the run's simulated
+    # wall clock — merge takes the max, so it passes through unchanged.
+    t0 = time.perf_counter()
+    catalog = FunctionCatalog.from_module(module)
+    meta = ArtifactMeta(
+        program=program,
+        source_sha256=source_sha256,
+        threshold=threshold,
+        num_threads=num_threads,
+        locale_id=locale_id,
+        kind="profile",
+        created_by=f"repro {_tool_version()}",
+    )
+    shard_snapshots = []
+    for st, attr, secs in zip(states, shard_attrs, shard_seconds):
+        shard_pm = PostmortemResult(
+            instances=st.instances,
+            runtime_samples=st.runtime_samples,
+            n_raw=st.n_raw,
+            unknown=[],
+            quarantined=st.quarantined,
+            n_recovered=st.n_repaired,
+            n_runtime=st.n_runtime,
+        )
+        shard_snapshots.append(
+            _partial_snapshot(
+                meta, catalog, shard_pm, attr,
+                program=program, wall_seconds=wall_seconds,
+                postmortem_seconds=secs, include_temps=include_temps,
+            )
+        )
+    tail_pm = PostmortemResult(
+        instances=recovered,
+        runtime_samples=[],
+        n_raw=0,
+        unknown=unknown,
+        quarantined=[],
+        n_recovered=n_late,
+        n_runtime=0,
+    )
+    tail = _partial_snapshot(
+        meta, catalog, tail_pm, tail_attr,
+        program=program, wall_seconds=wall_seconds,
+        dataset_bytes=dataset_bytes, stackwalk_cycles=stackwalk_cycles,
+        postmortem_seconds=resolve_seconds,
+        monitor_quarantine=monitor_quarantine,
+        monitor_quarantine_provenance=monitor_quarantine_provenance,
+        include_temps=include_temps,
+    )
+
+    merged = merge_snapshots(shard_snapshots + [tail], program=program)
+    assemble_seconds = time.perf_counter() - t0
+    # The merge labels its output as a cross-run merge; this one
+    # reassembles a single run, so restore the serial identity.
+    merged.meta = relabel(merged.meta, kind="profile", locale_id=locale_id)
+    merged.report.locale_id = locale_id
+    merged.fault_stats = fault_stats
+    if min_blame > 0.0:
+        # min_blame does not commute with sharding (the threshold is a
+        # fraction of the *run* denominator), so it is applied once,
+        # post-merge — same filter build_rows applies serially.
+        merged.report.rows = [
+            r
+            for r in merged.report.rows
+            if r.name == UNKNOWN_BUCKET or not r.blame < min_blame
+        ]
+
+    return ParallelPostmortem(
+        postmortem=postmortem,
+        attribution=attribution,
+        snapshot=merged,
+        shard_snapshots=shard_snapshots,
+        tail_snapshot=tail,
+        shard_seconds=shard_seconds,
+        shard_sizes=[len(s) for s in shards],
+        resolve_seconds=resolve_seconds,
+        assemble_seconds=assemble_seconds,
+        pool_seconds=pool_seconds,
+        backend=backend,
+        workers=workers,
+    )
+
+
+def _partial_snapshot(
+    meta: ArtifactMeta,
+    catalog: FunctionCatalog,
+    pm: PostmortemResult,
+    attribution: AttributionResult,
+    program: str,
+    wall_seconds: float,
+    dataset_bytes: int = 0,
+    stackwalk_cycles: float = 0.0,
+    postmortem_seconds: float = 0.0,
+    monitor_quarantine: "dict[str, int] | None" = None,
+    monitor_quarantine_provenance: "list[tuple[str, int]] | None" = None,
+    include_temps: bool = False,
+) -> ProfileSnapshot:
+    """One partial (per-shard or tail) snapshot: the shard's own report
+    aggregated with ``min_blame=0`` (filtering happens post-merge) and
+    provenance pairs in the same order ``snapshot_from_result`` records
+    them (post-mortem quarantine first, ingest quarantine last)."""
+    report = aggregate_stage(
+        program,
+        pm,
+        attribution,
+        wall_seconds=wall_seconds,
+        dataset_bytes=dataset_bytes,
+        stackwalk_cycles=stackwalk_cycles,
+        postmortem_seconds=postmortem_seconds,
+        monitor_quarantine=monitor_quarantine,
+        min_blame=0.0,
+        include_temps=include_temps,
+    )
+    quarantine_provenance = [
+        (d.reason, d.sample.index) for d in pm.quarantined
+    ] + list(monitor_quarantine_provenance or ())
+    return ProfileSnapshot(
+        meta=meta,
+        report=report,
+        catalog=catalog,
+        postmortem=SnapshotPostmortem(
+            instances=list(pm.instances),
+            n_raw=pm.n_raw,
+            n_runtime=pm.n_runtime,
+            n_recovered=pm.n_recovered,
+            unknown_provenance=[
+                (d.reason, d.sample.index) for d in pm.unknown
+            ],
+            quarantine_provenance=quarantine_provenance,
+        ),
+        fault_stats=None,
+    )
+
+
+def parallel_analyze(
+    module,
+    options=None,
+    workers: int = 1,
+    backend: str = "auto",
+):
+    """Static blame analysis with the per-function phase fanned out
+    across pool workers (the analyses of distinct functions share only
+    read-only context).
+
+    The global-alias fixpoint (cheap, whole-module) runs serially in the
+    parent; per-function results come back content-identical to serial
+    ones (blame sets are keyed by instruction ids, which pickling
+    preserves) and land in the same content-hash caches, so serial and
+    parallel analyses reuse each other's work.
+    """
+    from ..blame import cache as _cache
+    from ..blame.cache import cached_module_blame_info
+    from ..blame.options import FULL
+    from ..blame.static_info import ModuleBlameInfo, compute_global_aliases
+
+    opts = options or FULL
+    if workers <= 1:
+        return cached_module_blame_info(module, options=opts)
+    backend = resolve_backend(backend)
+    fp = _cache.module_fingerprint(module)
+    cached = _cache.cached_module_info(module, opts, fp)
+    if cached is not None:
+        return cached
+
+    aliases = compute_global_aliases(module, opts)
+    sig_fp = _cache.module_signatures_fingerprint(module)
+    aliases_fp = _cache.aliases_fingerprint(aliases)
+    functions: dict = {}
+    missing: dict[str, tuple] = {}
+    for name, fn in module.functions.items():
+        key = (_cache.function_fingerprint(fn), sig_fp, aliases_fp, opts)
+        hit = _cache.cached_function_info(fn, key)
+        if hit is None:
+            missing[name] = key
+        else:
+            functions[name] = hit
+
+    if missing:
+        name_shards = [
+            s for s in shard_stream(list(missing), workers) if s
+        ]
+        state = (module, None, opts, aliases)
+        parts, _secs = _run_pool(
+            backend, workers, state, _analyze_shard, name_shards
+        )
+        for part in parts:
+            for name, fn_info in part.items():
+                _cache.store_function_info(
+                    module.functions[name], missing[name], fn_info
+                )
+                functions[name] = fn_info
+
+    info = ModuleBlameInfo.from_parts(
+        module,
+        opts,
+        aliases,
+        {name: functions[name] for name in module.functions},
+    )
+    _cache.store_module_info(module, opts, fp, info)
+    return info

@@ -67,10 +67,24 @@ def compile_stage(
 
 
 def analyze_stage(
-    module: Module, options: "object | None" = None
+    module: Module,
+    options: "object | None" = None,
+    workers: int = 1,
+    backend: str = "auto",
 ) -> ModuleBlameInfo:
     """Step 1 — static blame analysis (pre-run, sample-independent;
-    cached on the module, keyed by a content hash of its IR)."""
+    cached on the module, keyed by a content hash of its IR).
+
+    ``workers > 1`` fans the per-function phase out across a worker
+    pool (:func:`repro.pipeline.parallel.parallel_analyze`); results
+    are content-identical and share the serial path's caches.
+    """
+    if workers > 1:
+        from .parallel import parallel_analyze
+
+        return parallel_analyze(
+            module, options=options, workers=workers, backend=backend
+        )
     return cached_module_blame_info(module, options=options)
 
 

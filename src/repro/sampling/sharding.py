@@ -1,0 +1,132 @@
+"""Deterministic sharding of one locale's sample stream (paper §IV.C).
+
+Post-mortem processing is "embarrassingly parallel" once the stream is
+split, *provided the split is safe*.  Safety here means two invariants,
+both enforced by construction:
+
+* **stack-complete batches** — a shard boundary never falls inside a
+  sample: every :class:`~repro.sampling.records.RawSample` carries its
+  whole stack walk (and, for worker tasks, the recorded pre-spawn
+  continuation), so any per-sample partition preserves every call path
+  intact.  Nothing a consolidator needs for one sample lives in another
+  shard's bytes;
+* **order preservation** — shards are *contiguous* runs of the stream,
+  so concatenating per-shard outputs in shard order reproduces exactly
+  the stream-order outputs of an unsharded pass.  This is what makes
+  the parallel pipeline's merged artifact byte-identical to the serial
+  one, rather than merely equivalent.
+
+Degradation composes with sharding because the fault injector's
+streaming degrader is chunking-invariant (the fate of the k-th busy
+sample depends only on the plan seed and k): the driver degrades the
+stream *before* splitting it, so every shard sees the same degraded
+records a serial pass would have seen.
+
+The splitter is pure arithmetic — no RNG, no load measurement — so the
+same ``(stream length, shard count)`` pair always yields the same
+bounds, on every host and in every process.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, TypeVar
+
+from ..errors import ReproError
+
+T = TypeVar("T")
+
+
+class ShardingError(ReproError):
+    """An invalid shard request (bad shard count)."""
+
+
+def shard_bounds(n_items: int, num_shards: int) -> list[tuple[int, int]]:
+    """Half-open ``[start, stop)`` bounds of each contiguous shard.
+
+    Items are spread as evenly as possible: shard sizes differ by at
+    most one, with the larger shards first (``i * n // k`` arithmetic).
+    ``num_shards`` may exceed ``n_items``; the surplus shards are empty
+    — an empty shard merges as the identity downstream.
+    """
+    if num_shards < 1:
+        raise ShardingError(f"need at least one shard (got {num_shards})")
+    if n_items < 0:
+        raise ShardingError(f"negative stream length {n_items}")
+    return [
+        (n_items * i // num_shards, n_items * (i + 1) // num_shards)
+        for i in range(num_shards)
+    ]
+
+
+def shard_stream(items: Sequence[T], num_shards: int) -> list[list[T]]:
+    """Splits ``items`` into ``num_shards`` contiguous, balanced shards.
+
+    ``sum(shards, []) == list(items)`` always holds — the split is a
+    partition that preserves stream order, never a reordering.
+    """
+    return [
+        list(items[start:stop])
+        for start, stop in shard_bounds(len(items), num_shards)
+    ]
+
+
+def shard_bounds_weighted(
+    weights: Sequence[int], num_shards: int
+) -> list[tuple[int, int]]:
+    """Contiguous shard bounds balanced by *weight* instead of count.
+
+    Per-sample post-mortem cost is not uniform (a glued worker-task
+    sample costs several times an ungled one), so count-balanced shards
+    can be badly work-imbalanced.  This splitter keeps the contiguity
+    invariant — only the cut points move — and places cut *i* at the
+    first prefix whose weight reaches ``i/num_shards`` of the total:
+    pure integer arithmetic, same bounds on every host.
+
+    Weights must be positive integers; surplus shards are empty.
+    """
+    if num_shards < 1:
+        raise ShardingError(f"need at least one shard (got {num_shards})")
+    if any(w < 1 for w in weights):
+        raise ShardingError("weights must be positive integers")
+    total = sum(weights)
+    cuts = [0]
+    prefix = 0
+    idx = 0
+    for i in range(1, num_shards):
+        target = total * i  # compare prefix * num_shards >= total * i
+        while idx < len(weights) and prefix * num_shards < target:
+            prefix += weights[idx]
+            idx += 1
+        cuts.append(idx)
+    cuts.append(len(weights))
+    return list(zip(cuts, cuts[1:]))
+
+
+def shard_stream_weighted(
+    items: Sequence[T], num_shards: int, weight
+) -> list[list[T]]:
+    """Splits ``items`` into contiguous shards of near-equal total
+    ``weight(item)``.  Like :func:`shard_stream`,
+    ``sum(shards, []) == list(items)`` always holds."""
+    bounds = shard_bounds_weighted([weight(x) for x in items], num_shards)
+    return [list(items[start:stop]) for start, stop in bounds]
+
+
+def shard_of(index: int, n_items: int, num_shards: int) -> int:
+    """Which shard of ``shard_bounds(n_items, num_shards)`` holds
+    position ``index`` (for provenance/debugging)."""
+    if not 0 <= index < n_items:
+        raise ShardingError(
+            f"index {index} outside stream of length {n_items}"
+        )
+    # Inverse of the bounds arithmetic: the shard whose start is the
+    # largest one <= index.
+    k = (index * num_shards + num_shards - 1) // max(n_items, 1)
+    for shard in range(min(k, num_shards - 1), -1, -1):
+        start, stop = (
+            n_items * shard // num_shards,
+            n_items * (shard + 1) // num_shards,
+        )
+        if start <= index < stop:
+            return shard
+    raise ShardingError(f"no shard holds index {index}")  # pragma: no cover

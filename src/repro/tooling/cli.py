@@ -32,7 +32,7 @@ import argparse
 import os
 import sys
 
-from ..errors import ArtifactError
+from ..errors import ArtifactError, ParallelError
 from ..pipeline.stages import render_stage
 from .profiler import Profiler
 
@@ -215,10 +215,41 @@ def profile_main(argv: list[str]) -> int:
         help="exit 3 when more than fraction X of samples were "
         "quarantined (telemetry-health gate for CI)",
     )
+    ap.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="shard post-mortem + attribution (and per-function static "
+        "analysis) across N pool workers; results are bit-identical "
+        "to --workers 1 (default: 1, the serial path)",
+    )
+    ap.add_argument(
+        "--parallel-backend",
+        choices=["auto", "process", "interpreter", "inline"],
+        default="auto",
+        help="worker pool for --workers N: process pool, subinterpreter "
+        "pool (Python >= 3.14), or inline (sequential in-process; "
+        "mainly for testing). auto picks the best available",
+    )
+    ap.add_argument(
+        "--shard-artifacts",
+        metavar="DIR",
+        help="with --workers N: also write each worker's partial "
+        "profile as DIR/shard-K.cbp plus DIR/tail.cbp (the phase-2 "
+        "recoveries and run-level counters); merging all of them "
+        "reproduces the main artifact",
+    )
     args = ap.parse_args(argv)
 
     if args.streaming and args.save_samples:
         ap.error("--save-samples needs the retained stream (drop --streaming)")
+    if args.workers < 1:
+        ap.error(f"--workers must be >= 1 (got {args.workers})")
+    if args.streaming and args.workers > 1:
+        ap.error("--streaming is incompatible with --workers > 1")
+    if args.shard_artifacts and args.workers <= 1:
+        ap.error("--shard-artifacts needs --workers > 1")
 
     try:
         with open(args.source) as f:
@@ -243,10 +274,16 @@ def profile_main(argv: list[str]) -> int:
         threshold=args.threshold,
         fast=args.fast,
         faults=args.inject_faults,
+        workers=args.workers,
+        parallel_backend=args.parallel_backend,
     )
-    result = profiler.profile(
-        streaming=args.streaming, batch_size=args.batch_size
-    )
+    try:
+        result = profiler.profile(
+            streaming=args.streaming, batch_size=args.batch_size
+        )
+    except ParallelError as exc:
+        print(f"repro-profile: {exc}", file=sys.stderr)
+        return 2
 
     if args.save_samples:
         from ..sampling.dataset import (
@@ -270,17 +307,52 @@ def profile_main(argv: list[str]) -> int:
             save_samples(args.save_samples, header, result.monitor.samples)
             print(f"[raw samples saved to {args.save_samples}]")
 
-    if args.output:
-        from ..artifact import snapshot_from_result, write_artifact
+    if args.output or args.shard_artifacts:
+        from ..artifact import write_artifact
+        from ..artifact.model import (
+            canonicalize_timings,
+            relabel,
+            snapshot_from_result,
+        )
         from ..sampling.dataset import source_digest
 
-        snapshot = snapshot_from_result(
-            result,
-            source_sha256=source_digest(source),
-            num_threads=args.threads,
-        )
-        write_artifact(args.output, snapshot)
-        print(f"[profile artifact written to {args.output}]")
+        digest = source_digest(source)
+        if result.parallel is not None:
+            # The sharded pipeline already reassembled its snapshot
+            # through merge_snapshots; stamp the run identity the serial
+            # path records and canonicalize host-measured timings so the
+            # bytes match --workers 1 exactly.
+            snapshot = result.parallel.snapshot
+            snapshot.meta = relabel(
+                snapshot.meta, source_sha256=digest, num_threads=args.threads
+            )
+            snapshot = canonicalize_timings(snapshot)
+        else:
+            snapshot = snapshot_from_result(
+                result,
+                source_sha256=digest,
+                num_threads=args.threads,
+                canonical_timings=True,
+            )
+        if args.output:
+            write_artifact(args.output, snapshot)
+            print(f"[profile artifact written to {args.output}]")
+        if args.shard_artifacts:
+            os.makedirs(args.shard_artifacts, exist_ok=True)
+            partials = [
+                (f"shard-{k}.cbp", shard)
+                for k, shard in enumerate(result.parallel.shard_snapshots)
+            ] + [("tail.cbp", result.parallel.tail_snapshot)]
+            for fname, shard in partials:
+                shard.meta = relabel(
+                    shard.meta, source_sha256=digest, num_threads=args.threads
+                )
+                path = os.path.join(args.shard_artifacts, fname)
+                write_artifact(path, canonicalize_timings(shard))
+            print(
+                f"[{len(partials)} partial artifacts "
+                f"(shards + tail) written to {args.shard_artifacts}]"
+            )
 
     if args.show_output:
         for line in result.run_result.output:
@@ -299,6 +371,14 @@ def profile_main(argv: list[str]) -> int:
         f"({result.postmortem.n_user} user)]"
     )
     _print_degradation(result)
+    if result.parallel is not None:
+        par = result.parallel
+        # stderr, so stdout stays byte-comparable across --workers N.
+        print(
+            f"[parallel: {par.workers} workers via {par.backend}, "
+            f"shards {par.shard_sizes}]",
+            file=sys.stderr,
+        )
     return _quarantine_gate(result, args.fail_on_quarantine_rate)
 
 

@@ -70,6 +70,9 @@ class ProfileResult:
     interpreter: "Interpreter | None" = None
     #: What fault injection did to this run (None on clean runs).
     fault_stats: "object | None" = None
+    #: Sharded-pipeline outcome when the run used ``workers > 1``
+    #: (carries the merged snapshot, per-shard partials and timings).
+    parallel: "object | None" = None
 
     @property
     def wall_seconds(self) -> float:
@@ -109,6 +112,8 @@ class Profiler:
         skid: int = 0,
         skid_compensation: bool = False,
         faults: "object | str | None" = None,
+        workers: int = 1,
+        parallel_backend: str = "auto",
     ) -> None:
         if isinstance(source, Module):
             self.module = source
@@ -134,6 +139,12 @@ class Profiler:
 
             faults = FaultPlan.parse(faults)
         self.faults = faults
+        if workers < 1:
+            from ..errors import ParallelError
+
+            raise ParallelError(f"need at least one worker (got {workers})")
+        self.workers = workers
+        self.parallel_backend = parallel_backend
 
     def _injector(self):
         if self.faults is None or getattr(self.faults, "is_clean", True):
@@ -157,10 +168,31 @@ class Profiler:
         additionally bounds the held-back degraded-sample buffer (see
         :class:`~repro.blame.postmortem.PostmortemConsumer`).  On a
         clean run both paths produce identical reports.
+
+        With ``workers > 1`` (and not streaming) post-mortem and
+        attribution run sharded across a worker pool — see
+        :mod:`repro.pipeline.parallel` — producing bit-identical
+        results; the outcome rides on ``ProfileResult.parallel``.
         """
-        # Step 1 — static analysis.
-        static_info = analyze_stage(self.module, options=self.blame_options)
+        if streaming and self.workers > 1:
+            from ..errors import ParallelError
+
+            raise ParallelError(
+                "streaming mode is incompatible with workers > 1: the "
+                "bounded evidence window resolves candidates mid-stream, "
+                "which has no faithful sharded equivalent"
+            )
+        # Step 1 — static analysis (fanned out when workers > 1).
+        static_info = analyze_stage(
+            self.module,
+            options=self.blame_options,
+            workers=self.workers,
+            backend=self.parallel_backend,
+        )
         injector = self._injector()
+
+        if self.workers > 1:
+            return self._profile_parallel(static_info, injector)
 
         if streaming:
             consumer = PostmortemConsumer(
@@ -248,6 +280,68 @@ class Profiler:
             report=report,
             interpreter=coll.interpreter,
             fault_stats=injector.stats if injector is not None else None,
+        )
+
+    def _profile_parallel(self, static_info, injector) -> ProfileResult:
+        """The sharded path: serial collection (the simulated run is the
+        sample source — it cannot shard), then pool-parallel post-mortem
+        + attribution reassembled through ``merge_snapshots``."""
+        from ..pipeline.parallel import parallel_postmortem
+
+        # Step 2 — execution under the monitor, stream retained.
+        coll = collect_stage(
+            self.module,
+            config=self.config,
+            num_threads=self.num_threads,
+            threshold=self.threshold,
+            cost_model=self.cost_model,
+            skid=self.skid,
+            skid_compensation=self.skid_compensation,
+        )
+        monitor = coll.monitor
+        # Degrade BEFORE sharding (the streaming degrader is
+        # chunking-invariant, so every shard sees exactly the degraded
+        # records a serial pass would have seen).
+        samples = monitor.samples
+        if injector is not None:
+            samples = injector.degrade_samples(samples)
+
+        # Steps 3 + 4 — sharded post-mortem/attribution, merged partial
+        # snapshots (parallel.py documents the bit-identity argument).
+        par = parallel_postmortem(
+            self.module,
+            static_info,
+            samples,
+            workers=self.workers,
+            backend=self.parallel_backend,
+            options=static_info.options,
+            program=self.program_name,
+            wall_seconds=coll.run_result.wall_seconds,
+            dataset_bytes=monitor.dataset_size_bytes(),
+            stackwalk_cycles=monitor.overhead.stackwalk_cycles_total,
+            monitor_quarantine=monitor.quarantine_by_reason(),
+            monitor_quarantine_provenance=[
+                (q.reason, q.sample.index) for q in monitor.quarantined
+            ],
+            min_blame=self.min_blame,
+            include_temps=self.include_temps,
+            threshold=self.threshold,
+            num_threads=self.num_threads,
+            fault_stats=(
+                injector.stats.as_dict() if injector is not None else None
+            ),
+        )
+        return ProfileResult(
+            module=self.module,
+            static_info=static_info,
+            monitor=monitor,
+            run_result=coll.run_result,
+            postmortem=par.postmortem,
+            attribution=par.attribution,
+            report=par.snapshot.report,
+            interpreter=coll.interpreter,
+            fault_stats=injector.stats if injector is not None else None,
+            parallel=par,
         )
 
 

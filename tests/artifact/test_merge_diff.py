@@ -90,6 +90,56 @@ class TestMerge:
         assert merged.fault_stats["truncated"] == 6
         assert merged.fault_stats["stripped_functions"] == ["f", "g"]
 
+    def test_fault_stats_preserve_unknown_counters(self):
+        """Counters outside the known set (newer injector modes) must be
+        summed, not silently dropped; non-numeric values and bools have
+        no meaningful sum and are dropped."""
+        a, b = snap(0), snap(1)
+        a = dataclasses.replace(
+            a,
+            fault_stats={
+                "examined": 5, "jitter": 3, "enabled": True, "note": "x",
+            },
+        )
+        b = dataclasses.replace(
+            b, fault_stats={"examined": 7, "jitter": 4, "skew": 1.5}
+        )
+        merged = merge_snapshots([a, b])
+        assert merged.fault_stats["examined"] == 12
+        assert merged.fault_stats["jitter"] == 7
+        assert merged.fault_stats["skew"] == 1.5
+        assert "enabled" not in merged.fault_stats
+        assert "note" not in merged.fault_stats
+        # Known counters lead in stable order even when absent from the
+        # inputs; unknown ones follow in first-seen order.
+        keys = list(merged.fault_stats)
+        assert keys[:6] == [
+            "examined", "dropped", "corrupted", "truncated", "tags_lost",
+            "stripped",
+        ]
+        assert keys.index("jitter") < keys.index("skew")
+
+    def test_missing_locales_deduped_and_sorted(self):
+        a, b = snap(0), snap(1)
+        merged = merge_snapshots([a, b], missing_locales=(3, 2, 3, 2))
+        assert merged.report.missing_locales == (2, 3)
+
+    def test_missing_locales_union_with_premerged_inputs(self):
+        """An input that is itself a merge already carries coverage
+        gaps; re-merging unions them with the caller's instead of
+        losing or duplicating them."""
+        inner = merge_snapshots(
+            [snap(0), snap(1)], program="minimd.chpl", missing_locales=(4,)
+        )
+        outer = merge_snapshots(
+            [inner, snap(2)], program="minimd.chpl", missing_locales=(4, 5)
+        )
+        assert outer.report.missing_locales == (4, 5)
+
+    def test_empty_merge_message_dedupes_missing(self):
+        with pytest.raises(ArtifactError, match=r"\[1, 2\]"):
+            merge_snapshots([], missing_locales=(2, 1, 2))
+
     def test_matches_multilocale_harness(self, tmp_path):
         """`repro merge` over the per-locale shards reproduces the
         in-process multi-locale merged report."""

@@ -1,0 +1,69 @@
+"""Shared fixtures for the sharded-pipeline tests.
+
+One collected (and optionally degraded) sample stream per
+configuration, reused across tests: collection is deterministic
+(simulated clock, seeded degradation), and reusing the *same* stream is
+what makes serial-vs-parallel comparisons exact — task ids are
+process-global, so two separate runs differ in raw-sample task ids even
+though their artifacts agree byte for byte.
+"""
+
+from __future__ import annotations
+
+from repro.pipeline import analyze_stage, collect_stage, compile_stage
+
+#: Same degradation plan the artifact tests exercise every channel with.
+FAULT_SPEC = "drop=0.05,truncate=0.1:3,tagloss=0.1,strip=0.1,seed=42"
+
+NUM_THREADS = 4
+THRESHOLD = 4999
+
+
+def benchmark_setup(name: str) -> tuple[str, str, dict]:
+    """(source, filename, config) for one benchmark."""
+    if name == "minimd":
+        from repro.bench.programs import minimd
+
+        return (
+            minimd.build_source(optimized=False),
+            "minimd.chpl",
+            minimd.config_for(num_bins=6, per_bin=4, steps=3),
+        )
+    if name == "lulesh":
+        from repro.bench.programs import lulesh
+
+        return (
+            lulesh.build_source(),
+            "lulesh.chpl",
+            lulesh.config_for(edge_elems=4, max_steps=2),
+        )
+    raise ValueError(name)
+
+
+_CACHE: dict = {}
+
+
+def collected(name: str = "minimd", faults: str | None = None):
+    """(module, static_info, samples, wall_seconds) — collected once per
+    configuration; ``faults`` degrades the stream *before* any sharding,
+    exactly as the parallel driver does."""
+    key = (name, faults)
+    if key not in _CACHE:
+        source, filename, config = benchmark_setup(name)
+        module = compile_stage(source, filename)
+        static = analyze_stage(module)
+        coll = collect_stage(
+            module,
+            config=config,
+            num_threads=NUM_THREADS,
+            threshold=THRESHOLD,
+        )
+        samples = coll.monitor.samples
+        if faults:
+            from repro.resilience.faults import FaultPlan
+            from repro.resilience.inject import FaultInjector
+
+            injector = FaultInjector(FaultPlan.parse(faults), module=module)
+            samples = injector.degrade_samples(samples)
+        _CACHE[key] = (module, static, samples, coll.run_result.wall_seconds)
+    return _CACHE[key]

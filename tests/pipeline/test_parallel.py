@@ -1,0 +1,340 @@
+"""The sharded parallel pipeline: bit-identity with the serial path.
+
+Two comparison regimes, deliberately distinct:
+
+* **same stream** — serial and parallel consume the *identical*
+  collected (possibly degraded) sample list, so the post-mortem and
+  attribution results must be ``==`` down to every field;
+* **cross run** — two separate ``Profiler`` runs.  Task ids are
+  process-global, so raw samples differ across runs even on clean
+  streams; what must (and does) match byte-for-byte is everything the
+  tool persists and shows: the canonicalized ``.cbp`` artifact and every
+  rendered view.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.artifact import (
+    artifact_bytes,
+    canonicalize_timings,
+    merge_snapshots,
+    read_artifact,
+    snapshot_from_result,
+)
+from repro.artifact.model import relabel
+from repro.errors import ParallelError
+from repro.pipeline import (
+    VIEWS,
+    attribute_stage,
+    interpreter_pool_available,
+    parallel_analyze,
+    parallel_postmortem,
+    postmortem_stage,
+    render_stage,
+    resolve_backend,
+)
+from repro.tooling.cli import main as cli_main
+from repro.tooling.profiler import Profiler
+
+from .conftest import (
+    FAULT_SPEC,
+    NUM_THREADS,
+    THRESHOLD,
+    benchmark_setup,
+    collected,
+)
+
+#: One serial Profiler run per configuration (cross-run baselines).
+_SERIAL: dict = {}
+
+
+def serial_run(name: str, faults: str | None = None):
+    key = (name, faults)
+    if key not in _SERIAL:
+        source, filename, config = benchmark_setup(name)
+        _SERIAL[key] = Profiler(
+            source,
+            filename=filename,
+            config=config,
+            num_threads=NUM_THREADS,
+            threshold=THRESHOLD,
+            faults=faults,
+        ).profile()
+    return _SERIAL[key]
+
+
+def parallel_run(name: str, workers: int, backend: str = "inline",
+                 faults: str | None = None, **kwargs):
+    source, filename, config = benchmark_setup(name)
+    return Profiler(
+        source,
+        filename=filename,
+        config=config,
+        num_threads=NUM_THREADS,
+        threshold=THRESHOLD,
+        faults=faults,
+        workers=workers,
+        parallel_backend=backend,
+        **kwargs,
+    ).profile()
+
+
+class TestSameStreamEquality:
+    """Serial vs sharded over the identical degraded stream."""
+
+    @pytest.mark.parametrize("faults", [None, FAULT_SPEC],
+                             ids=["clean", "faulted"])
+    @pytest.mark.parametrize("workers", [1, 2, 3, 4, 5, 8])
+    def test_postmortem_and_attribution_exact(self, workers, faults):
+        module, static, samples, wall = collected("minimd", faults)
+        serial_pm = postmortem_stage(module, samples, options=static.options)
+        serial_attr = attribute_stage(static, serial_pm)
+        par = parallel_postmortem(
+            module, static, samples,
+            workers=workers, backend="inline", wall_seconds=wall,
+        )
+        assert par.postmortem == serial_pm
+        assert par.attribution == serial_attr
+        assert sum(par.shard_sizes) == len(samples)
+        assert len(par.shard_snapshots) == workers
+        assert par.workers == workers and par.backend == "inline"
+
+    def test_empty_stream_merges_as_identities(self):
+        """Surplus/empty shards contribute nothing; no division by the
+        zero sample count anywhere in aggregation or rendering."""
+        module, static, _, wall = collected("minimd")
+        serial_pm = postmortem_stage(module, [], options=static.options)
+        serial_attr = attribute_stage(static, serial_pm)
+        par = parallel_postmortem(
+            module, static, [], workers=4, backend="inline",
+            wall_seconds=wall,
+        )
+        assert par.postmortem == serial_pm
+        assert par.attribution == serial_attr
+        assert serial_attr.total_samples == 0
+        assert par.snapshot.report.stats.total_raw_samples == 0
+        assert all(r.blame == 0.0 for r in par.snapshot.report.rows)
+        for view in ("data", "code", "hybrid"):
+            assert render_stage(par.snapshot, view)
+
+    def test_more_workers_than_samples(self):
+        module, static, samples, wall = collected("minimd")
+        few = samples[:3]
+        serial_pm = postmortem_stage(module, few, options=static.options)
+        par = parallel_postmortem(
+            module, static, few, workers=8, backend="inline",
+            wall_seconds=wall,
+        )
+        assert par.postmortem == serial_pm
+        assert sum(1 for n in par.shard_sizes if n == 0) == 5
+
+
+class TestCrossRunByteIdentity:
+    """Separate serial and parallel runs: artifacts and views match."""
+
+    @pytest.mark.parametrize(
+        "name,faults,workers",
+        [
+            ("lulesh", None, 2),
+            ("lulesh", None, 4),
+            ("minimd", FAULT_SPEC, 2),
+            ("minimd", FAULT_SPEC, 3),
+        ],
+    )
+    def test_artifact_and_views(self, name, faults, workers):
+        serial = serial_run(name, faults)
+        par = parallel_run(name, workers, faults=faults)
+        s_snap = snapshot_from_result(serial, canonical_timings=True)
+        p_snap = canonicalize_timings(par.parallel.snapshot)
+        assert artifact_bytes(p_snap) == artifact_bytes(s_snap)
+        for view in VIEWS:
+            assert render_stage(p_snap, view) == render_stage(s_snap, view)
+
+    def test_min_blame_applied_post_merge(self):
+        """min_blame is a fraction of the run denominator, so it must be
+        applied after the shard merge — serial and sharded agree."""
+        source, filename, config = benchmark_setup("minimd")
+        serial = Profiler(
+            source, filename=filename, config=config,
+            num_threads=NUM_THREADS, threshold=THRESHOLD, min_blame=0.05,
+        ).profile()
+        par = parallel_run("minimd", 3, min_blame=0.05)
+        s_snap = snapshot_from_result(serial, canonical_timings=True)
+        p_snap = canonicalize_timings(par.parallel.snapshot)
+        assert artifact_bytes(p_snap) == artifact_bytes(s_snap)
+        assert all(
+            r.blame >= 0.05 or r.name == "<unknown>"
+            for r in p_snap.report.rows
+        )
+
+    def test_process_backend_end_to_end(self):
+        """Real pickling + subprocess transport, degraded stream."""
+        serial = serial_run("minimd", FAULT_SPEC)
+        par = parallel_run("minimd", 2, backend="process", faults=FAULT_SPEC)
+        assert par.parallel.backend == "process"
+        assert artifact_bytes(
+            canonicalize_timings(par.parallel.snapshot)
+        ) == artifact_bytes(snapshot_from_result(serial, canonical_timings=True))
+
+    def test_shard_snapshots_remerge_to_the_main_snapshot(self):
+        """shard partials + tail are exactly the merge inputs."""
+        par = parallel_run("lulesh", 3).parallel
+        remerged = merge_snapshots(
+            par.shard_snapshots + [par.tail_snapshot],
+            program=par.snapshot.meta.program,
+        )
+        remerged.meta = relabel(remerged.meta, kind="profile", locale_id=0)
+        remerged.report.locale_id = 0
+        assert artifact_bytes(canonicalize_timings(remerged)) == artifact_bytes(
+            canonicalize_timings(par.snapshot)
+        )
+
+
+class TestParallelAnalyze:
+    def test_blame_sets_identical_on_cold_caches(self):
+        """Per-function fan-out (process backend, real pickling) lands
+        on the same blame sets as the serial two-phase analysis."""
+        from repro.blame.cache import _FN_ATTR, _MOD_ATTR
+        from repro.blame.static_info import ModuleBlameInfo
+        from repro.compiler.lower import compile_source
+
+        source, filename, _ = benchmark_setup("minimd")
+        module = compile_source(source, filename)
+        serial = ModuleBlameInfo(module)
+        # Wipe the on-module caches so the parallel path recomputes.
+        module.__dict__.pop(_MOD_ATTR, None)
+        for fn in module.functions.values():
+            fn.__dict__.pop(_FN_ATTR, None)
+        par = parallel_analyze(module, workers=3, backend="process")
+        assert par.module is module
+        assert list(par.functions) == list(module.functions)
+        assert par.global_aliases == serial.global_aliases
+        for name, a in serial.functions.items():
+            b = par.functions[name]
+            assert a.blame_sets.by_var == b.blame_sets.by_var, name
+
+    def test_worker_count_one_is_the_serial_path(self):
+        module, static, _, _ = collected("minimd")
+        info = parallel_analyze(module, options=static.options, workers=1)
+        assert info.functions.keys() == static.functions.keys()
+
+
+class TestBackendsAndGuards:
+    def test_resolve_auto_prefers_interpreter(self):
+        expected = (
+            "interpreter" if interpreter_pool_available() else "process"
+        )
+        assert resolve_backend("auto") == expected
+
+    def test_resolve_passthrough(self):
+        assert resolve_backend("process") == "process"
+        assert resolve_backend("inline") == "inline"
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(ParallelError, match="unknown parallel backend"):
+            resolve_backend("threads")
+
+    @pytest.mark.skipif(
+        interpreter_pool_available(),
+        reason="InterpreterPoolExecutor exists on this Python",
+    )
+    def test_interpreter_backend_gated(self):
+        with pytest.raises(ParallelError, match="Python >= 3.14"):
+            resolve_backend("interpreter")
+
+    def test_streaming_conflicts_with_workers(self):
+        source, filename, config = benchmark_setup("minimd")
+        p = Profiler(source, filename=filename, config=config, workers=2,
+                     parallel_backend="inline")
+        with pytest.raises(ParallelError, match="streaming"):
+            p.profile(streaming=True)
+
+    def test_workers_below_one_refused(self):
+        source, filename, config = benchmark_setup("minimd")
+        with pytest.raises(ParallelError, match="at least one worker"):
+            Profiler(source, filename=filename, config=config, workers=0)
+        module, static, samples, wall = collected("minimd")
+        with pytest.raises(ParallelError, match="at least one worker"):
+            parallel_postmortem(module, static, samples, workers=0,
+                                backend="inline", wall_seconds=wall)
+
+
+class TestCLI:
+    def _profile(self, tmp_path, capsys, subdir, *extra):
+        source, filename, config = benchmark_setup("minimd")
+        src = tmp_path / "minimd.chpl"
+        src.write_text(source)
+        out_dir = tmp_path / subdir
+        out_dir.mkdir()
+        art = out_dir / "run.cbp"
+        rc = cli_main(
+            [str(src), "--threads", str(NUM_THREADS),
+             "--threshold", str(THRESHOLD),
+             "--config"] + [f"{k}={v}" for k, v in config.items()]
+            + ["--view", "data", "-o", str(art)] + list(extra)
+        )
+        assert rc == 0
+        captured = capsys.readouterr()
+        return art.read_bytes(), captured.out.replace(str(out_dir), "OUT")
+
+    def test_workers_flag_is_byte_identical(self, tmp_path, capsys):
+        base_art, base_out = self._profile(tmp_path, capsys, "w1")
+        for w, sub in ((2, "w2"), (4, "w4")):
+            art, out = self._profile(
+                tmp_path, capsys, sub,
+                "--workers", str(w), "--parallel-backend", "inline",
+            )
+            assert art == base_art
+            assert out == base_out  # the parallel summary goes to stderr
+
+    def test_faulted_workers_flag_is_byte_identical(self, tmp_path, capsys):
+        base_art, base_out = self._profile(
+            tmp_path, capsys, "w1", "--inject-faults", FAULT_SPEC
+        )
+        art, out = self._profile(
+            tmp_path, capsys, "w2",
+            "--inject-faults", FAULT_SPEC,
+            "--workers", "2", "--parallel-backend", "inline",
+        )
+        assert art == base_art
+        assert out == base_out
+
+    def test_shard_artifacts_remerge(self, tmp_path, capsys):
+        source, filename, config = benchmark_setup("minimd")
+        src = tmp_path / "minimd.chpl"
+        src.write_text(source)
+        art = tmp_path / "run.cbp"
+        shards_dir = tmp_path / "shards"
+        rc = cli_main(
+            [str(src), "--threads", str(NUM_THREADS),
+             "--threshold", str(THRESHOLD),
+             "--config"] + [f"{k}={v}" for k, v in config.items()]
+            + ["--view", "none", "-o", str(art),
+               "--workers", "3", "--parallel-backend", "inline",
+               "--shard-artifacts", str(shards_dir)]
+        )
+        assert rc == 0
+        capsys.readouterr()
+        parts = [
+            read_artifact(str(shards_dir / name))
+            for name in ("shard-0.cbp", "shard-1.cbp", "shard-2.cbp",
+                         "tail.cbp")
+        ]
+        remerged = merge_snapshots(parts, program=str(src))
+        remerged.meta = relabel(remerged.meta, kind="profile", locale_id=0)
+        remerged.report.locale_id = 0
+        assert artifact_bytes(remerged) == art.read_bytes()
+
+    def test_shard_artifacts_needs_workers(self, tmp_path, capsys):
+        src = tmp_path / "p.chpl"
+        src.write_text("proc main() { writeln(1); }\n")
+        with pytest.raises(SystemExit):
+            cli_main([str(src), "--shard-artifacts", str(tmp_path / "d")])
+
+    def test_streaming_workers_conflict_rejected(self, tmp_path, capsys):
+        src = tmp_path / "p.chpl"
+        src.write_text("proc main() { writeln(1); }\n")
+        with pytest.raises(SystemExit):
+            cli_main([str(src), "--streaming", "--workers", "2"])

@@ -1,0 +1,101 @@
+"""Property tests (hypothesis): *any* deterministic contiguous split of
+the sample stream, merged through the two-phase evidence protocol,
+equals the unsharded post-mortem — clean and under FaultInjector
+degradation, shard counts 1–8 and arbitrary uneven splits."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.blame.attribution import BlameAttributor, merge_attributions
+from repro.blame.postmortem import (
+    PostmortemConsumer,
+    PostmortemResult,
+    ShardEvidence,
+)
+from repro.pipeline import (
+    attribute_stage,
+    parallel_postmortem,
+    postmortem_stage,
+)
+
+from .conftest import FAULT_SPEC, collected
+
+_SERIAL: dict = {}
+
+
+def serial_baseline(faults):
+    if faults not in _SERIAL:
+        module, static, samples, _ = collected("minimd", faults)
+        pm = postmortem_stage(module, samples, options=static.options)
+        _SERIAL[faults] = (pm, attribute_stage(static, pm))
+    return _SERIAL[faults]
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    faults=st.sampled_from([None, FAULT_SPEC]),
+    fractions=st.lists(st.floats(0.0, 1.0), min_size=0, max_size=7),
+)
+def test_any_contiguous_split_merges_to_the_serial_result(faults, fractions):
+    """The low-level seam: hand-picked (arbitrarily uneven, possibly
+    empty) contiguous shards through shard_state → evidence merge →
+    resolve_with_evidence reproduce the serial consumer exactly."""
+    module, static, samples, _ = collected("minimd", faults)
+    cuts = sorted({int(f * len(samples)) for f in fractions})
+    bounds = [0] + cuts + [len(samples)]
+    shards = [samples[a:b] for a, b in zip(bounds, bounds[1:])]
+    assert [s for shard in shards for s in shard] == samples
+
+    states = []
+    for shard in shards:
+        consumer = PostmortemConsumer(
+            module, options=static.options, tolerant=True
+        )
+        consumer.feed(shard)
+        states.append(consumer.shard_state())
+    evidence = ShardEvidence.merge([state.evidence for state in states])
+    candidates = [c for state in states for c in state.candidates]
+    recovered, unknown, n_late = PostmortemConsumer.resolve_with_evidence(
+        module, candidates, evidence, options=static.options
+    )
+    merged = PostmortemResult(
+        instances=[i for state in states for i in state.instances]
+        + recovered,
+        runtime_samples=[
+            s for state in states for s in state.runtime_samples
+        ],
+        n_raw=sum(state.n_raw for state in states),
+        unknown=unknown,
+        quarantined=[d for state in states for d in state.quarantined],
+        n_recovered=sum(state.n_repaired for state in states) + n_late,
+        n_runtime=sum(state.n_runtime for state in states),
+    )
+    serial_pm, serial_attr = serial_baseline(faults)
+    assert merged == serial_pm
+
+    attrs = [
+        BlameAttributor(static).attribute(state.instances)
+        for state in states
+    ]
+    attrs.append(BlameAttributor(static).attribute(recovered))
+    assert merge_attributions(attrs) == serial_attr
+
+
+@settings(max_examples=16, deadline=None)
+@given(
+    workers=st.integers(1, 8),
+    faults=st.sampled_from([None, FAULT_SPEC]),
+)
+def test_shard_counts_one_to_eight(workers, faults):
+    """The full sharded pipeline at every worker count the benchmark
+    sweeps, against the one serial baseline."""
+    module, static, samples, wall = collected("minimd", faults)
+    serial_pm, serial_attr = serial_baseline(faults)
+    par = parallel_postmortem(
+        module, static, samples,
+        workers=workers, backend="inline", wall_seconds=wall,
+    )
+    assert par.postmortem == serial_pm
+    assert par.attribution == serial_attr

@@ -1,0 +1,118 @@
+"""Deterministic stream sharding (the parallel pipeline's splitter)."""
+
+import pytest
+
+from repro.sampling import (
+    ShardingError,
+    shard_bounds,
+    shard_bounds_weighted,
+    shard_of,
+    shard_stream,
+    shard_stream_weighted,
+)
+
+
+class TestShardBounds:
+    def test_partition_covers_the_stream(self):
+        for n in (0, 1, 7, 100, 101):
+            for k in (1, 2, 3, 8):
+                bounds = shard_bounds(n, k)
+                assert len(bounds) == k
+                assert bounds[0][0] == 0
+                assert bounds[-1][1] == n
+                for (_, stop), (start, _) in zip(bounds, bounds[1:]):
+                    assert stop == start  # contiguous, no gaps/overlap
+
+    def test_balanced_within_one(self):
+        for n in (7, 100, 101):
+            for k in (2, 3, 8):
+                sizes = [stop - start for start, stop in shard_bounds(n, k)]
+                assert max(sizes) - min(sizes) <= 1
+                assert sum(sizes) == n
+
+    def test_surplus_shards_are_empty(self):
+        bounds = shard_bounds(3, 8)
+        sizes = [stop - start for start, stop in bounds]
+        assert sum(sizes) == 3
+        assert sizes.count(0) == 5
+
+    def test_deterministic(self):
+        assert shard_bounds(101, 4) == shard_bounds(101, 4)
+
+    def test_bad_counts_raise(self):
+        with pytest.raises(ShardingError, match="at least one shard"):
+            shard_bounds(10, 0)
+        with pytest.raises(ShardingError, match="negative"):
+            shard_bounds(-1, 2)
+
+
+class TestShardStream:
+    def test_concatenation_is_the_identity(self):
+        items = list(range(23))
+        for k in range(1, 9):
+            shards = shard_stream(items, k)
+            assert [x for s in shards for x in s] == items
+
+    def test_empty_stream(self):
+        assert shard_stream([], 4) == [[], [], [], []]
+
+    def test_order_preserved_within_shards(self):
+        shards = shard_stream(list(range(10)), 3)
+        for shard in shards:
+            assert shard == sorted(shard)
+
+
+class TestWeighted:
+    def test_partition_and_contiguity(self):
+        weights = [1, 4, 1, 1, 4, 4, 1, 1, 1, 4]
+        for k in (1, 2, 3, 4, 8):
+            bounds = shard_bounds_weighted(weights, k)
+            assert len(bounds) == k
+            assert bounds[0][0] == 0
+            assert bounds[-1][1] == len(weights)
+            for (_, stop), (start, _) in zip(bounds, bounds[1:]):
+                assert stop == start
+
+    def test_balances_weight_not_count(self):
+        # Heavy tail: count-balanced halves would split the work 1:4.
+        weights = [1] * 8 + [4] * 8
+        (a0, a1), (b0, b1) = shard_bounds_weighted(weights, 2)
+        first, second = sum(weights[a0:a1]), sum(weights[b0:b1])
+        assert abs(first - second) <= max(weights)
+
+    def test_uniform_weights_balance_counts(self):
+        bounds = shard_bounds_weighted([1] * 10, 3)
+        sizes = [stop - start for start, stop in bounds]
+        assert sum(sizes) == 10
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_stream_concatenation_is_the_identity(self):
+        items = list(range(23))
+        for k in range(1, 9):
+            shards = shard_stream_weighted(
+                items, k, lambda x: 1 + 3 * (x % 5 == 0)
+            )
+            assert [x for s in shards for x in s] == items
+
+    def test_bad_weights_raise(self):
+        with pytest.raises(ShardingError, match="positive"):
+            shard_bounds_weighted([1, 0, 1], 2)
+        with pytest.raises(ShardingError, match="at least one shard"):
+            shard_bounds_weighted([1], 0)
+
+
+class TestShardOf:
+    def test_agrees_with_bounds(self):
+        for n in (1, 7, 23, 100):
+            for k in (1, 2, 3, 8):
+                bounds = shard_bounds(n, k)
+                for i in range(n):
+                    s = shard_of(i, n, k)
+                    start, stop = bounds[s]
+                    assert start <= i < stop
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ShardingError, match="outside"):
+            shard_of(10, 10, 2)
+        with pytest.raises(ShardingError, match="outside"):
+            shard_of(-1, 10, 2)
