@@ -34,9 +34,9 @@ from __future__ import annotations
 
 import json
 import os
-import sys
 import time
 
+from repro.bench.harness import host_info
 from repro.bench.programs import lulesh, minimd
 from repro.pipeline import (
     analyze_stage,
@@ -141,10 +141,7 @@ def run_parallel_bench() -> dict:
                 " see module docstring"
             ),
         },
-        "host": {
-            "cpu_count": os.cpu_count(),
-            "python": sys.version.split()[0],
-        },
+        "host": host_info(),
         "workloads": {name: measure_workload(name) for name in WORKLOADS},
     }
     with open(os.path.abspath(RESULT_PATH), "w") as f:

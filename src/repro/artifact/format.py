@@ -18,6 +18,7 @@ kind  payload
 ``s``  run statistics (:class:`~repro.blame.report.RunStats`)
 ``b``  blame report: locale, missing locales, columnar rows
 ``d``  fault-injection summary (optional; degraded runs only)
+``a``  adaptive decision trail (optional; adaptive runs only)
 ``z``  footer: total record count (truncation sentinel)
 ====  ======================================================
 
@@ -187,6 +188,8 @@ def _encode(snapshot: ProfileSnapshot) -> list[str]:
     ]
     if snapshot.fault_stats is not None:
         lines.append(crc_line("d", snapshot.fault_stats))
+    if snapshot.adaptive is not None:
+        lines.append(crc_line("a", snapshot.adaptive))
     lines.append(crc_line("z", {"records": len(lines) + 1}))
     return lines
 
@@ -397,4 +400,5 @@ def _decode(by_kind: dict[str, object]) -> ProfileSnapshot:
         catalog=catalog,
         postmortem=postmortem,
         fault_stats=by_kind.get("d"),
+        adaptive=by_kind.get("a"),
     )

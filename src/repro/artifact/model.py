@@ -147,6 +147,12 @@ class ProfileSnapshot:
     #: Injection summary when the run was deliberately degraded
     #: (:meth:`repro.resilience.inject.InjectionStats.as_dict` form).
     fault_stats: dict | None = None
+    #: Adaptive-stopping decision trail when the run used
+    #: confidence-driven collection
+    #: (:meth:`repro.sampling.adaptive.AdaptiveTrail.as_dict` form).
+    #: Persisted as the optional ``a`` record; readers that predate it
+    #: ignore the record (forward-minor tolerance).
+    adaptive: dict | None = None
 
     @property
     def module(self) -> FunctionCatalog:
@@ -244,6 +250,9 @@ def snapshot_from_result(
             if hasattr(result.fault_stats, "as_dict")
             else dict(result.fault_stats)
         )
+    adaptive = getattr(result, "adaptive", None)
+    if adaptive is not None and hasattr(adaptive, "as_dict"):
+        adaptive = adaptive.as_dict()
     snapshot = ProfileSnapshot(
         meta=meta,
         report=result.report,
@@ -257,6 +266,7 @@ def snapshot_from_result(
             quarantine_provenance=quarantined,
         ),
         fault_stats=fault_stats,
+        adaptive=adaptive,
     )
     return canonicalize_timings(snapshot) if canonical_timings else snapshot
 

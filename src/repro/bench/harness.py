@@ -25,6 +25,33 @@ NUM_THREADS = 12
 PROFILE_THRESHOLD = 4999
 
 
+def available_cpus() -> int:
+    """CPUs this process may actually run on.
+
+    ``os.cpu_count()`` reports the machine's core count, which inside a
+    cpuset-restricted container (CI runners, cgroup limits) can be
+    wildly wrong in either direction — the affinity mask is what bounds
+    real parallelism.  Every benchmark records its host metadata through
+    this one helper so the JSON artifacts agree on the number.
+    """
+    import os
+
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # non-Linux: no affinity API
+        return os.cpu_count() or 1
+
+
+def host_info() -> dict:
+    """The ``host`` block benchmarks stamp into their result JSON."""
+    import sys
+
+    return {
+        "cpu_count": available_cpus(),
+        "python": sys.version.split()[0],
+    }
+
+
 @dataclass
 class TimingRow:
     """One timed configuration."""

@@ -277,6 +277,22 @@ class PostmortemConsumer:
         """Degraded samples currently held back for recovery."""
         return len(self._candidates)
 
+    @property
+    def n_consolidated(self) -> int:
+        """Instances consolidated so far (grows monotonically; the
+        adaptive checkpoints read deltas against this watermark)."""
+        return len(self._instances)
+
+    @property
+    def n_quarantined(self) -> int:
+        """Samples rejected so far (post-mortem quarantine only)."""
+        return len(self._quarantined)
+
+    def instances_since(self, start: int) -> "list[Instance]":
+        """The consolidated instances appended at or after ``start`` —
+        the incremental-attribution delta between two checkpoints."""
+        return self._instances[start:]
+
     def feed(self, batch: "list[RawSample] | tuple[RawSample, ...]") -> None:
         """Consumes one batch of raw samples (collection order)."""
         if self._finished:

@@ -215,11 +215,19 @@ def render_stage(profile, view: str = "data", top: int = 20, findings=None) -> s
     :class:`~repro.artifact.model.ProfileSnapshot` loaded from disk,
     which is the artifact round-trip's byte-identity seam: both paths
     funnel through this one function.
+
+    An adaptive run's decision trail (``profile.adaptive`` — a live
+    :class:`~repro.sampling.adaptive.AdaptiveTrail` or the artifact's
+    decoded dict) is normalized to its dict form here, so live and
+    replayed renders draw the footer from the identical payload.
     """
+    adaptive = getattr(profile, "adaptive", None)
+    if adaptive is not None and hasattr(adaptive, "as_dict"):
+        adaptive = adaptive.as_dict()
     if view == "data":
         from ..views.data_centric import render_data_centric
 
-        return render_data_centric(profile.report, top=top)
+        return render_data_centric(profile.report, top=top, adaptive=adaptive)
     if view == "code":
         from ..views.code_centric import render_code_centric
 
@@ -227,7 +235,7 @@ def render_stage(profile, view: str = "data", top: int = 20, findings=None) -> s
     if view == "hybrid":
         from ..views.hybrid import render_hybrid
 
-        return render_hybrid(profile.report, findings=findings)
+        return render_hybrid(profile.report, findings=findings, adaptive=adaptive)
     if view == "html":
         from ..views.html import render_html_report
 

@@ -203,7 +203,9 @@ class Interpreter:
             self._pending_entry.append(self.module.main)
         frame = Frame(entry, None, None)
         frame.penalty = self._penalty(entry)
-        task = Task(frame, is_main=True)
+        task = Task(
+            frame, is_main=True, task_id=self.scheduler.next_task_id()
+        )
         self._main_task = task
         self.scheduler.enqueue(task)
 
@@ -214,7 +216,15 @@ class Interpreter:
         except ProgramHalt as h:
             halted = True
             halt_message = str(h)
+        return self.build_run_result(halted=halted, halt_message=halt_message)
 
+    def build_run_result(
+        self, halted: bool = False, halt_message: str = ""
+    ) -> RunResult:
+        """Assembles a :class:`RunResult` from the current scheduler
+        state.  ``run()`` calls this at completion; the adaptive driver
+        calls it directly after unwinding the event loop early (the
+        clocks then reflect exactly the truncated execution)."""
         total = sum(t.clock for t in self.scheduler.threads)
         idle = sum(t.idle_cycles for t in self.scheduler.threads)
         busy = sum(t.busy_cycles for t in self.scheduler.threads)
@@ -933,7 +943,9 @@ class Interpreter:
             all_args = list(chunk_args) + captures
             for p, a in zip(outlined.params, all_args):
                 wframe.regs[p.register.rid] = a
-            wtask = Task(wframe, spawn=record)
+            wtask = Task(
+                wframe, spawn=record, task_id=self.scheduler.next_task_id()
+            )
             wtask.last_clock = spawn_clock  # workers start at spawn time
             self.scheduler.enqueue(wtask)
         # The spawner suspends at the join; it resumes after the spawn

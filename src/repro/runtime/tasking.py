@@ -69,9 +69,15 @@ class SpawnRecord:
 
 
 class Task:
-    """A schedulable unit: the main task, or one chunk of a parallel loop."""
+    """A schedulable unit: the main task, or one chunk of a parallel loop.
 
-    _ids = itertools.count()
+    Task ids are allocated by the run's :class:`Scheduler`
+    (:meth:`Scheduler.next_task_id`), not by a process-global counter —
+    so every run numbers its tasks 0, 1, 2, … regardless of what ran
+    before it in the same process.  Repeat runs therefore produce
+    identical sample streams, and an adaptively-stopped run replays
+    identically (the property per-shard collectors need too).
+    """
 
     __slots__ = ("task_id", "frame", "state", "spawn", "is_main", "last_clock")
 
@@ -80,8 +86,9 @@ class Task:
         frame: Frame,
         spawn: SpawnRecord | None = None,
         is_main: bool = False,
+        task_id: int = 0,
     ) -> None:
-        self.task_id = next(Task._ids)
+        self.task_id = task_id
         self.frame: Frame | None = frame
         #: ready | running | joining | done
         self.state = "ready"
@@ -134,9 +141,15 @@ class Scheduler:
         self.threads = [WorkerThread(i) for i in range(num_threads)]
         self.run_queue: deque[Task] = deque()
         self._spawn_tags = itertools.count(1)
+        #: Run-scoped task-id allocator (main task gets 0, spawned
+        #: workers 1, 2, … in spawn order — deterministic per run).
+        self._task_ids = itertools.count()
 
     def next_spawn_tag(self) -> int:
         return next(self._spawn_tags)
+
+    def next_task_id(self) -> int:
+        return next(self._task_ids)
 
     def enqueue(self, task: Task) -> None:
         task.state = "ready"

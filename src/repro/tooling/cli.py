@@ -3,6 +3,7 @@
 Usage::
 
     repro-profile profile program.chpl [-o run.cbp] [--streaming]
+        [--adaptive [--confidence C] [--ci-width W]]
         [--threads N] [--threshold P] [--fast] [--view data|code|hybrid|all]
         [--config name=value ...]
     repro-profile view run.cbp [--view data|code|hybrid|all] [--html PATH]
@@ -44,6 +45,9 @@ usage: repro-profile <command> [options]
 
 commands:
   profile SOURCE [-o ART.cbp]   run a program, print views, save an artifact
+                                (--adaptive stops collection early once the
+                                blame ranking settles; tune with --confidence,
+                                --ci-width, --stability-window, --round-samples)
   view ART.cbp                  re-render views from a saved artifact
   merge OUT.cbp IN.cbp...       merge per-locale/per-run artifacts
   diff A.cbp B.cbp              blame-shift table between two artifacts
@@ -240,6 +244,45 @@ def profile_main(argv: list[str]) -> int:
         "recoveries and run-level counters); merging all of them "
         "reproduces the main artifact",
     )
+    ap.add_argument(
+        "--adaptive",
+        action="store_true",
+        help="confidence-driven collection: profile in checkpointed "
+        "rounds and halt the run early once the blame ranking is "
+        "statistically settled (the decision trail rides in the "
+        "artifact and the views)",
+    )
+    ap.add_argument(
+        "--confidence",
+        type=float,
+        default=0.95,
+        metavar="C",
+        help="confidence level for the blame-share intervals, "
+        "exclusive (0, 1) (default: 0.95)",
+    )
+    ap.add_argument(
+        "--ci-width",
+        type=float,
+        default=0.02,
+        metavar="W",
+        help="stop once every top-N interval's half-width is at most "
+        "W, exclusive (0, 1) (default: 0.02)",
+    )
+    ap.add_argument(
+        "--stability-window",
+        type=int,
+        default=3,
+        metavar="K",
+        help="checkpoints in a row that must agree before stopping "
+        "(default: 3)",
+    )
+    ap.add_argument(
+        "--round-samples",
+        type=int,
+        default=256,
+        metavar="N",
+        help="samples collected per adaptive round (default: 256)",
+    )
     args = ap.parse_args(argv)
 
     if args.streaming and args.save_samples:
@@ -250,6 +293,21 @@ def profile_main(argv: list[str]) -> int:
         ap.error("--streaming is incompatible with --workers > 1")
     if args.shard_artifacts and args.workers <= 1:
         ap.error("--shard-artifacts needs --workers > 1")
+    if not 0.0 < args.confidence < 1.0:
+        ap.error(f"--confidence must be in (0, 1) exclusive (got {args.confidence})")
+    if not 0.0 < args.ci_width < 1.0:
+        ap.error(f"--ci-width must be in (0, 1) exclusive (got {args.ci_width})")
+    if args.adaptive and args.streaming:
+        ap.error("--adaptive already streams in rounds (drop --streaming)")
+    if args.adaptive and args.save_samples:
+        ap.error("--save-samples needs the full stream (drop --adaptive)")
+    if args.adaptive and args.shard_artifacts:
+        ap.error("--shard-artifacts shards the materialized stream "
+                 "(incompatible with --adaptive)")
+    if args.stability_window < 1:
+        ap.error(f"--stability-window must be >= 1 (got {args.stability_window})")
+    if args.round_samples < 1:
+        ap.error(f"--round-samples must be >= 1 (got {args.round_samples})")
 
     try:
         with open(args.source) as f:
@@ -277,9 +335,21 @@ def profile_main(argv: list[str]) -> int:
         workers=args.workers,
         parallel_backend=args.parallel_backend,
     )
+    adaptive = None
+    if args.adaptive:
+        from ..sampling.adaptive import AdaptiveConfig
+
+        adaptive = AdaptiveConfig(
+            confidence=args.confidence,
+            ci_width=args.ci_width,
+            stability_window=args.stability_window,
+            round_samples=args.round_samples,
+        )
     try:
         result = profiler.profile(
-            streaming=args.streaming, batch_size=args.batch_size
+            streaming=args.streaming,
+            batch_size=args.batch_size,
+            adaptive=adaptive,
         )
     except ParallelError as exc:
         print(f"repro-profile: {exc}", file=sys.stderr)
@@ -370,6 +440,13 @@ def profile_main(argv: list[str]) -> int:
         f"{result.monitor.n_samples} samples "
         f"({result.postmortem.n_user} user)]"
     )
+    if result.adaptive is not None:
+        trail = result.adaptive
+        verdict = "stopped early" if trail.stopped_early else "ran to completion"
+        print(
+            f"[adaptive: {verdict} after {len(trail.rounds)} rounds, "
+            f"{trail.samples_collected} samples ({trail.stop_reason})]"
+        )
     _print_degradation(result)
     if result.parallel is not None:
         par = result.parallel

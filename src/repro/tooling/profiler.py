@@ -73,6 +73,14 @@ class ProfileResult:
     #: Sharded-pipeline outcome when the run used ``workers > 1``
     #: (carries the merged snapshot, per-shard partials and timings).
     parallel: "object | None" = None
+    #: Decision trail of an adaptive run
+    #: (:class:`~repro.sampling.adaptive.AdaptiveTrail`; None otherwise).
+    adaptive: "object | None" = None
+
+    @property
+    def stopped_early(self) -> bool:
+        """Did adaptive mode halt collection before the workload ended?"""
+        return self.adaptive is not None and self.adaptive.stopped_early
 
     @property
     def wall_seconds(self) -> float:
@@ -158,6 +166,7 @@ class Profiler:
         streaming: bool = False,
         batch_size: int = 256,
         evidence_window: int | None = None,
+        adaptive: "object | None" = None,
     ) -> ProfileResult:
         """Runs the pipeline end to end.
 
@@ -173,7 +182,21 @@ class Profiler:
         attribution run sharded across a worker pool — see
         :mod:`repro.pipeline.parallel` — producing bit-identical
         results; the outcome rides on ``ProfileResult.parallel``.
+
+        ``adaptive`` (an
+        :class:`~repro.sampling.adaptive.AdaptiveConfig`, or ``True``
+        for the defaults) switches to confidence-driven collection:
+        streaming rounds with incremental attribution, stopping early
+        once the blame ranking is statistically settled — see
+        :mod:`repro.sampling.adaptive`.  Composes with ``workers > 1``
+        (static analysis still fans out; collection is inherently
+        serial) and with fault injection (degraded telemetry widens the
+        intervals, delaying the stop).
         """
+        if adaptive is not None and streaming:
+            raise ValueError(
+                "adaptive mode already streams in rounds; drop streaming=True"
+            )
         if streaming and self.workers > 1:
             from ..errors import ParallelError
 
@@ -190,6 +213,13 @@ class Profiler:
             backend=self.parallel_backend,
         )
         injector = self._injector()
+
+        if adaptive is not None:
+            from ..sampling.adaptive import AdaptiveConfig
+
+            if adaptive is True:
+                adaptive = AdaptiveConfig()
+            return self._profile_adaptive(static_info, injector, adaptive)
 
         if self.workers > 1:
             return self._profile_parallel(static_info, injector)
@@ -342,6 +372,86 @@ class Profiler:
             interpreter=coll.interpreter,
             fault_stats=injector.stats if injector is not None else None,
             parallel=par,
+        )
+
+
+    def _profile_adaptive(self, static_info, injector, config) -> ProfileResult:
+        """Confidence-driven collection: the monitor sinks rounds into
+        an :class:`~repro.sampling.adaptive.AdaptiveController`, which
+        feeds the streaming consumer, attributes each round's delta, and
+        raises :class:`~repro.sampling.adaptive.StopSampling` out of the
+        interpreter once the ranking is statistically settled.  The
+        samples after the stopping point are never generated at all —
+        that is the wall-clock saving."""
+        from ..sampling.adaptive import AdaptiveController, StopSampling
+        from ..sampling.pmu import PMUConfig
+
+        consumer = PostmortemConsumer(
+            self.module,
+            options=static_info.options,
+            tolerant=True,
+            keep_runtime_samples=False,
+        )
+        degrade = injector.degrader() if injector is not None else None
+        controller = AdaptiveController(
+            config,
+            static_info,
+            consumer,
+            degrade=degrade,
+            program=self.program_name,
+            include_temps=self.include_temps,
+        )
+        monitor = Monitor(
+            PMUConfig(threshold=self.threshold),
+            sink=controller.sink,
+            batch_size=config.round_samples,
+        )
+        controller.bind_monitor(monitor)
+        interp = Interpreter(
+            self.module,
+            config=self.config,
+            num_threads=self.num_threads,
+            cost_model=self.cost_model,
+            monitor=monitor,
+            sample_threshold=self.threshold,
+            skid=self.skid,
+            skid_compensation=self.skid_compensation,
+        )
+        try:
+            run_result = interp.run()
+        except StopSampling:
+            # The event loop unwound mid-run; the scheduler clocks
+            # reflect exactly the truncated execution.
+            run_result = interp.build_run_result()
+        controller.close()
+        monitor.flush()  # final partial round (recorded, never raises)
+        t0 = time.perf_counter()
+        pm, attribution = controller.finish()
+        postmortem_seconds = time.perf_counter() - t0
+
+        report = aggregate_stage(
+            self.program_name,
+            pm,
+            attribution,
+            wall_seconds=run_result.wall_seconds,
+            dataset_bytes=monitor.dataset_size_bytes(),
+            stackwalk_cycles=monitor.overhead.stackwalk_cycles_total,
+            postmortem_seconds=postmortem_seconds,
+            monitor_quarantine=monitor.quarantine_by_reason(),
+            min_blame=self.min_blame,
+            include_temps=self.include_temps,
+        )
+        return ProfileResult(
+            module=self.module,
+            static_info=static_info,
+            monitor=monitor,
+            run_result=run_result,
+            postmortem=pm,
+            attribution=attribution,
+            report=report,
+            interpreter=interp,
+            fault_stats=injector.stats if injector is not None else None,
+            adaptive=controller.trail,
         )
 
 

@@ -1,0 +1,52 @@
+"""Shared adaptive-stopping annotations for the report views.
+
+Mirrors :mod:`repro.views.degradation`: every view appends the same
+short footer when (and only when) the run used confidence-driven
+collection, rendered from the decision trail's JSON-stable dict form
+(:meth:`repro.sampling.adaptive.AdaptiveTrail.as_dict`) — the same
+payload the artifact's ``a`` record stores, which is what keeps live
+and replayed renders byte-identical.  Non-adaptive runs produce no
+lines, so their output is byte-for-byte what it was before adaptive
+mode existed.
+"""
+
+from __future__ import annotations
+
+
+def adaptive_lines(trail: dict | None) -> list[str]:
+    """Human-readable footer lines; empty when the run was not adaptive."""
+    if not trail:
+        return []
+    rounds = trail.get("rounds", [])
+    n_rounds = len(rounds)
+    verdict = (
+        "stopped early" if trail.get("stopped_early") else "ran to completion"
+    )
+    out = [
+        f"~ adaptive: {verdict} after {n_rounds} round"
+        f"{'' if n_rounds == 1 else 's'} "
+        f"({trail.get('samples_collected', 0)} samples, "
+        f"{trail.get('stop_reason', '?')})"
+    ]
+    if rounds:
+        last = rounds[-1]
+        confidence = trail.get("confidence", 0.95)
+        out.append(
+            f"~ final checkpoint: max CI half-width "
+            f"{last['max_half_width']:.4f} at {100 * confidence:g}% "
+            f"confidence, top-{trail.get('top_n', 5)} overlap "
+            f"{last['top_overlap']:.2f}, tau {last['tau']:.2f}"
+        )
+        if last.get("degraded"):
+            out.append(
+                f"~ {last['degraded']} degraded samples widened the "
+                f"intervals at the stopping point"
+            )
+    total = trail.get("samples_total")
+    if total:
+        collected = trail.get("samples_collected", 0)
+        out.append(
+            f"~ saved {total - collected} of {total} samples "
+            f"({100 * (total - collected) / total:.1f}%) vs the full run"
+        )
+    return out

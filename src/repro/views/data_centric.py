@@ -9,6 +9,7 @@ its type and context of definition."
 from __future__ import annotations
 
 from ..blame.report import BlameReport
+from .adaptive import adaptive_lines
 from .degradation import degradation_lines
 from .tables import pct, render_table
 
@@ -18,6 +19,7 @@ def render_data_centric(
     top: int | None = None,
     min_blame: float = 0.0,
     include_paths: bool = True,
+    adaptive: dict | None = None,
 ) -> str:
     rows = []
     for r in report.rows:
@@ -38,5 +40,5 @@ def render_data_centric(
         title=title,
         aligns=["l", "l", "r", "l"],
     )
-    notes = degradation_lines(report)
+    notes = degradation_lines(report) + adaptive_lines(adaptive)
     return table + ("\n" + "\n".join(notes) if notes else "")

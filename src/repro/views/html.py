@@ -13,6 +13,7 @@ from __future__ import annotations
 import html
 
 from ..blame.report import BlameReport
+from .adaptive import adaptive_lines
 from .code_centric import build_code_centric
 from .degradation import degradation_lines
 from .hybrid import build_blame_points
@@ -32,6 +33,8 @@ td.num { text-align: right; font-variant-numeric: tabular-nums; }
        vertical-align: baseline; margin-right: 0.4em; }
 .temp { color: #999; }
 .degraded { border-left: 4px solid #c0392b; padding-left: 1em;
+            margin-top: 1.4em; }
+.adaptive { border-left: 4px solid #2e86ab; padding-left: 1em;
             margin-top: 1.4em; }
 footer { margin-top: 2em; font-size: 0.8em; color: #777; }
 """
@@ -100,6 +103,17 @@ def render_html_report(result, top: int = 25, min_blame: float = 0.005) -> str:
         if notes
         else ""
     )
+    trail = getattr(result, "adaptive", None)
+    if trail is not None and hasattr(trail, "as_dict"):
+        trail = trail.as_dict()
+    a_notes = adaptive_lines(trail)
+    adaptive_html = (
+        '<div class="adaptive"><h2>adaptive collection</h2><ul>'
+        + "".join(f"<li>{_esc(n.lstrip('~ '))}</li>" for n in a_notes)
+        + "</ul></div>"
+        if a_notes
+        else ""
+    )
     return f"""<!DOCTYPE html>
 <html><head><meta charset="utf-8">
 <title>blame profile — {_esc(report.program)}</title>
@@ -124,6 +138,7 @@ def render_html_report(result, top: int = 25, min_blame: float = 0.005) -> str:
 </div>
 {"".join(points_html)}
 {degradation_html}
+{adaptive_html}
 <footer>
 {stats.total_raw_samples} raw samples ({stats.user_samples} user,
 {stats.runtime_samples} runtime) · simulated wall

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from ..blame.report import BlameReport, BlameRow
+from .adaptive import adaptive_lines
 from .degradation import degradation_lines
 from .tables import pct, render_table
 
@@ -53,6 +54,7 @@ def render_hybrid(
     min_blame: float = 0.005,
     per_point: int = 8,
     findings: "list[Finding] | None" = None,
+    adaptive: dict | None = None,
 ) -> str:
     """Renders the blame points; when advisor ``findings`` are given,
     each blame point also lists the static recommendations anchored in
@@ -87,7 +89,7 @@ def render_hybrid(
             f"  advice [{f.rule}] {f.where} ({f.function}): {f.message}"
             for f in leftovers
         )
-    notes = degradation_lines(report)
+    notes = degradation_lines(report) + adaptive_lines(adaptive)
     if notes:
         sections.append("")
         sections.extend(notes)

@@ -84,6 +84,25 @@ class TestScheduler:
         assert s.pick_thread() is s.threads[1]  # ties broken by id
 
 
+class TestRunScopedTaskIds:
+    def test_fresh_scheduler_starts_at_zero(self):
+        s = Scheduler(num_threads=2)
+        assert [s.next_task_id() for _ in range(3)] == [0, 1, 2]
+
+    def test_schedulers_do_not_share_the_counter(self):
+        # Task ids used to come from a process-global itertools.count,
+        # so a second run in the same process produced different sample
+        # streams than the first — repeat runs must be identical.
+        a, b = Scheduler(num_threads=2), Scheduler(num_threads=2)
+        assert a.next_task_id() == b.next_task_id() == 0
+
+    def test_repeat_profiles_produce_identical_streams(self):
+        src = "forall i in 0..#64 { var x = i * 2.0; }"
+        first = profile_src(src, num_threads=4, threshold=997)
+        second = profile_src(src, num_threads=4, threshold=997)
+        assert first.monitor.samples == second.monitor.samples
+
+
 class TestSpawnInstrumentation:
     """The paper's §IV.B: spawn tags + pre-spawn stacks on samples."""
 

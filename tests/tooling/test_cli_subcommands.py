@@ -110,6 +110,67 @@ class TestProfileAndView:
                 ]
             )
 
+    def test_adaptive_profile_stops_early_and_replays(
+        self, source_file, tmp_path, capsys
+    ):
+        path = tmp_path / "adaptive.cbp"
+        rc = cli_main(
+            [
+                "profile", source_file, "--adaptive",
+                "--ci-width", "0.4", "--round-samples", "8",
+                "-o", str(path), "--view", "all", *FAST_ARGS,
+            ]
+        )
+        assert rc == 0
+        live = capsys.readouterr().out
+        assert "[adaptive: stopped early" in live
+        assert "~ adaptive: stopped early" in live
+        # The truncated artifact replays byte-identically.
+        rc = cli_main(["view", str(path), "--view", "all"])
+        assert rc == 0
+        assert capsys.readouterr().out in live
+
+    @pytest.mark.parametrize(
+        "flags",
+        [
+            ["--confidence", "0"],
+            ["--confidence", "1"],
+            ["--confidence", "1.5"],
+            ["--confidence", "-0.1"],
+            ["--ci-width", "0"],
+            ["--ci-width", "1"],
+            ["--ci-width", "2.0"],
+        ],
+    )
+    def test_bad_interval_knobs_exit_2_with_usage(
+        self, source_file, flags, capsys
+    ):
+        # Validated even without --adaptive: a typo'd knob must never
+        # be silently ignored.
+        with pytest.raises(SystemExit) as exc:
+            cli_main(["profile", source_file, *flags, *FAST_ARGS])
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "usage:" in err
+        assert "must be in (0, 1) exclusive" in err
+
+    @pytest.mark.parametrize(
+        "extra",
+        [
+            ["--streaming"],
+            ["--save-samples", "samples.jsonl"],
+            ["--workers", "2", "--shard-artifacts", "shards"],
+        ],
+    )
+    def test_adaptive_refuses_stream_retention_combos(
+        self, source_file, extra
+    ):
+        with pytest.raises(SystemExit) as exc:
+            cli_main(
+                ["profile", source_file, "--adaptive", *extra, *FAST_ARGS]
+            )
+        assert exc.value.code == 2
+
     def test_view_meta_line(self, artifact, capsys):
         rc = cli_main(["view", artifact, "--meta", "--view", "data"])
         assert rc == 0
