@@ -16,6 +16,7 @@ Typical use::
     findings = rank_findings(findings, report) # + blame percentages
 """
 
+from ..errors import AnalysisError
 from .context import AnalysisContext
 from .diagnostics import (
     Finding,
@@ -24,6 +25,7 @@ from .diagnostics import (
     max_severity,
     render_findings,
 )
+from .locality import AccessClass, Locality, LocalityAnalysis
 from .passes import (
     PASS_REGISTRY,
     AnalysisPass,
@@ -34,9 +36,13 @@ from .races import RaceDetectorPass
 from .ranker import attach_blame, rank_findings
 
 __all__ = [
+    "AccessClass",
     "AnalysisContext",
+    "AnalysisError",
     "AnalysisPass",
     "Finding",
+    "Locality",
+    "LocalityAnalysis",
     "PASS_REGISTRY",
     "RaceDetectorPass",
     "Severity",

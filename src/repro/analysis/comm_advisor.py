@@ -1,0 +1,311 @@
+"""Communication advisor: batching, aggregation, and hoisting passes.
+
+Rolinger et al. showed that the dominant cost of sparse/irregular
+Chapel kernels on multiple locales is fine-grained communication from
+indirection-addressed accesses, and that three source rewrites recover
+most of it: inspector-executor *remote-access batching* (gather the
+indirectly-addressed elements in bulk, compute from a local buffer),
+per-locale *aggregation* of scattered read-modify-writes, and
+*hoisting* indirection loads out of inner loops.  These passes detect
+the corresponding anti-patterns over the locality classification
+(:mod:`repro.analysis.locality`) and go quiet on the optimized shapes:
+
+* a pure gather loop (indirect loads feeding only stores) is the
+  *fix* for batching, not a finding;
+* a read-modify-write whose destination is merely remote but directly
+  addressed (CSR-style ``out[i, r] +=``) needs no aggregation;
+* an indirection load whose own index varies with its innermost loop
+  cannot be hoisted from it.
+
+Like the rest of the advisor, findings join per-variable blame through
+the ranker: the indirection arrays (``row``, ``col``, ...) are listed
+in ``variables`` precisely so a measured profile can attach the blame
+share the paper's data-centric attribution assigns them.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from ..ir import instructions as I
+from ..ir.module import BasicBlock, Function
+from .context import AnalysisContext
+from .diagnostics import Finding, Severity
+from .locality import AccessClass, Locality
+from .passes import AnalysisPass, register_pass
+
+#: Operators that count as "computing with" a loaded value.
+_ARITH_OPS = frozenset({"+", "-", "*", "/", "%", "**"})
+#: Operators accepted as the combining step of a read-modify-write.
+_RMW_OPS = frozenset({"+", "-", "*", "/"})
+
+
+def _iter_blocks(fn: Function):
+    for block in fn.blocks:
+        for instr in block.instructions:
+            yield block, instr
+
+
+def _elem_producer(value: I.Value) -> I.ElemAddr | None:
+    if isinstance(value, I.Register) and isinstance(value.producer, I.ElemAddr):
+        return value.producer
+    return None
+
+
+def _names(*groups: tuple[str, ...]) -> list[str]:
+    """Merged user-visible names, placeholders (``<array>``) dropped."""
+    out: set[str] = set()
+    for g in groups:
+        out.update(n for n in g if not n.startswith("<"))
+    return sorted(out)
+
+
+@register_pass
+class RemoteAccessBatchingPass(AnalysisPass):
+    """Indirect reads feeding arithmetic inside a parallel loop body:
+    each task issues one fine-grained remote get per element instead
+    of one bulk transfer."""
+
+    name = "remote-access-batching"
+    description = "indirect gathers feeding arithmetic in parallel loops"
+
+    def run(self, ctx: AnalysisContext) -> list[Finding]:
+        findings: list[Finding] = []
+        locality = ctx.locality()
+        for fn in ctx.module.functions.values():
+            if fn.outlined_from is None:
+                continue
+            groups: dict[
+                tuple[str, int], list[tuple[AccessClass, I.ElemAddr, I.Load]]
+            ]
+            groups = defaultdict(list)
+            for _block, instr in _iter_blocks(fn):
+                if not isinstance(instr, I.Load):
+                    continue
+                ea = _elem_producer(instr.addr)
+                if ea is None:
+                    continue
+                acc = locality.accesses.get(ea.iid)
+                if acc is None or acc.locality is not Locality.INDIRECT:
+                    continue
+                if not self._feeds_arithmetic(fn, instr.result):
+                    continue  # pure gather: the inspector-executor fix
+                groups[(instr.loc.filename, instr.loc.line)].append(
+                    (acc, ea, instr)
+                )
+            for (fname, line), items in groups.items():
+                arrays = _names(*(a.arrays for a, _, _ in items))
+                sources = _names(*(a.index_sources for a, _, _ in items))
+                findings.append(
+                    Finding(
+                        rule=self.name,
+                        severity=Severity.WARNING,
+                        message=(
+                            f"{len(items)} indirection-addressed read(s) of "
+                            f"{', '.join(arrays) or 'remote data'} (indices "
+                            f"from {', '.join(sources) or 'array contents'}) "
+                            "feed arithmetic in this parallel loop: every "
+                            "task issues fine-grained remote gets"
+                        ),
+                        file=fname,
+                        line=line,
+                        function=ctx.source_context(fn),
+                        variables=tuple(_names(tuple(arrays), tuple(sources))),
+                        remediation=(
+                            "split the loop inspector-executor style: "
+                            "gather the indirectly-addressed elements into "
+                            "a local buffer in one bulk pass, then compute "
+                            "from the buffer"
+                        ),
+                        iids=tuple(
+                            sorted({i.iid for _, ea, ld in items for i in (ea, ld)})
+                        ),
+                    )
+                )
+        return findings
+
+    @classmethod
+    def _feeds_arithmetic(cls, fn: Function, reg: I.Register | None) -> bool:
+        if reg is None:
+            return False
+        for instr in fn.instructions():
+            if (
+                isinstance(instr, I.BinOp)
+                and instr.op in _ARITH_OPS
+                and (instr.lhs is reg or instr.rhs is reg)
+            ):
+                return True
+            if isinstance(instr, I.Cast) and instr.value is reg:
+                if cls._feeds_arithmetic(fn, instr.result):
+                    return True
+        return False
+
+
+@register_pass
+class AggregationCandidatePass(AnalysisPass):
+    """Read-modify-writes scattered through an indirection-determined
+    destination inside a parallel loop: the canonical per-locale
+    aggregation (buffer-and-flush) candidate."""
+
+    name = "aggregation-candidate"
+    description = "scattered RMW through indirect destinations"
+
+    def run(self, ctx: AnalysisContext) -> list[Finding]:
+        findings: list[Finding] = []
+        locality = ctx.locality()
+        for fn in ctx.module.functions.values():
+            if fn.outlined_from is None:
+                continue
+            groups: dict[
+                tuple[str, int], list[tuple[AccessClass, I.ElemAddr, I.Store]]
+            ]
+            groups = defaultdict(list)
+            for _block, instr in _iter_blocks(fn):
+                if not isinstance(instr, I.Store):
+                    continue
+                ea = _elem_producer(instr.addr)
+                if ea is None:
+                    continue
+                acc = locality.accesses.get(ea.iid)
+                if acc is None or acc.locality is not Locality.INDIRECT:
+                    continue
+                if not self._is_rmw(instr):
+                    continue
+                groups[(instr.loc.filename, instr.loc.line)].append(
+                    (acc, ea, instr)
+                )
+            for (fname, line), items in groups.items():
+                arrays = _names(*(a.arrays for a, _, _ in items))
+                sources = _names(*(a.index_sources for a, _, _ in items))
+                findings.append(
+                    Finding(
+                        rule=self.name,
+                        severity=Severity.WARNING,
+                        message=(
+                            f"read-modify-write into "
+                            f"{', '.join(arrays) or 'a remote array'} at an "
+                            f"index taken from "
+                            f"{', '.join(sources) or 'array contents'}: "
+                            "each update is a remote get + put to a "
+                            "data-dependent locale"
+                        ),
+                        file=fname,
+                        line=line,
+                        function=ctx.source_context(fn),
+                        variables=tuple(_names(tuple(arrays), tuple(sources))),
+                        remediation=(
+                            "aggregate the updates per destination locale "
+                            "(buffer locally, flush in bulk), or restructure "
+                            "so each task owns its output rows (CSR-style)"
+                        ),
+                        iids=tuple(
+                            sorted({i.iid for _, ea, st in items for i in (ea, st)})
+                        ),
+                    )
+                )
+        return findings
+
+    @staticmethod
+    def _is_rmw(store: I.Store) -> bool:
+        """The stored value combines a load of the same element address
+        (the lowering of ``A[idx] op= v`` reuses one elemaddr)."""
+        v = store.value
+        p = v.producer if isinstance(v, I.Register) else None
+        if not (isinstance(p, I.BinOp) and p.op in _RMW_OPS):
+            return False
+        for op in (p.lhs, p.rhs):
+            lp = op.producer if isinstance(op, I.Register) else None
+            if isinstance(lp, I.Load) and lp.addr is store.addr:
+                return True
+        return False
+
+
+@register_pass
+class IndirectionHoistPass(AnalysisPass):
+    """Indirection loads re-executed every iteration of an inner loop
+    although their index only depends on outer-loop state."""
+
+    name = "indirection-hoist"
+    description = "loop-invariant indirection loads in inner loops"
+
+    def run(self, ctx: AnalysisContext) -> list[Finding]:
+        findings: list[Finding] = []
+        locality = ctx.locality()
+        for fn in ctx.module.functions.values():
+            if fn.is_artificial:
+                continue
+            df = ctx.dataflow(fn)
+            index_feeders = self._index_feeding_regs(fn)
+            groups: dict[tuple[str, int], list[tuple[I.ElemAddr, I.Load]]]
+            groups = defaultdict(list)
+            for block, instr in _iter_blocks(fn):
+                if not isinstance(instr, I.Load):
+                    continue
+                ea = _elem_producer(instr.addr)
+                if ea is None or instr.result not in index_feeders:
+                    continue
+                inner = self._innermost_loop(ctx, fn, block)
+                if inner is None:
+                    continue
+                chain: set[I.Instruction] = set()
+                for ix in ea.indices:
+                    chain.update(locality.index_chain(fn, ix))
+                if any(c.parent in inner.blocks for c in chain):
+                    continue  # index varies with this loop: not hoistable
+                groups[(instr.loc.filename, instr.loc.line)].append(
+                    (ea, instr)
+                )
+            for (fname, line), items in groups.items():
+                arrays = _names(
+                    *(
+                        tuple(locality._element_names(df, ea.base))
+                        for ea, _ in items
+                    )
+                )
+                findings.append(
+                    Finding(
+                        rule=self.name,
+                        severity=Severity.WARNING,
+                        message=(
+                            f"{len(items)} indirection load(s) of "
+                            f"{', '.join(arrays) or 'index arrays'} repeat "
+                            "every inner-loop iteration although the index "
+                            "only depends on outer-loop state: the same "
+                            "remote element is fetched again and again"
+                        ),
+                        file=fname,
+                        line=line,
+                        function=ctx.source_context(fn),
+                        variables=tuple(arrays),
+                        remediation=(
+                            "hoist the load before the inner loop "
+                            "(`const m = idx[e];`) and index through the "
+                            "local copy"
+                        ),
+                        iids=tuple(
+                            sorted({i.iid for ea, ld in items for i in (ea, ld)})
+                        ),
+                    )
+                )
+        return findings
+
+    @staticmethod
+    def _index_feeding_regs(fn: Function) -> set[I.Register]:
+        """Registers used as an element-address index somewhere in
+        ``fn`` — the loads that *define* an indirection."""
+        regs: set[I.Register] = set()
+        for instr in fn.instructions():
+            if isinstance(instr, I.ElemAddr):
+                regs.update(
+                    ix for ix in instr.indices if isinstance(ix, I.Register)
+                )
+        return regs
+
+    @staticmethod
+    def _innermost_loop(ctx: AnalysisContext, fn: Function, block: BasicBlock):
+        candidates = [
+            loop for loop in ctx.loops(fn) if block in loop.blocks
+        ]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda loop: len(loop.blocks))

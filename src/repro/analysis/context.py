@@ -34,6 +34,7 @@ class AnalysisContext:
         self._loops: dict[str, list[Loop]] = {}
         self._depths: dict[str, dict[BasicBlock, int]] = {}
         self._loop_resident: set[str] | None = None
+        self._locality: "object | None" = None
 
     # -- substrate accessors ------------------------------------------------
 
@@ -85,6 +86,15 @@ class AnalysisContext:
             }
             self._loop_resident = loop_resident_functions(self.module, depths_of)
         return self._loop_resident
+
+    def locality(self):
+        """Module-wide locality classification (lazy import keeps the
+        context importable without the locality machinery)."""
+        if self._locality is None:
+            from .locality import LocalityAnalysis
+
+            self._locality = LocalityAnalysis(self)
+        return self._locality
 
     # -- convenience predicates --------------------------------------------
 

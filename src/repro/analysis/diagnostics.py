@@ -74,7 +74,10 @@ def max_severity(findings: list[Finding]) -> Severity | None:
 
 def sort_key(f: Finding):
     """Most severe first; within a severity, highest blame first, then
-    stable source order."""
+    stable source order.  The trailing iid tuple makes the key total
+    over well-formed findings (two passes reporting identical text on
+    the same line still order deterministically), keeping rendered and
+    JSON output byte-stable across runs."""
     return (
         -int(f.severity),
         -(f.blame if f.blame is not None else -1.0),
@@ -82,6 +85,7 @@ def sort_key(f: Finding):
         f.line,
         f.rule,
         f.message,
+        f.iids,
     )
 
 
@@ -164,6 +168,24 @@ RULE_CATALOG: dict[str, tuple[Severity, str]] = {
         Severity.INFO,
         "small constant-trip loop; a `for param` unroll removes the "
         "iterator overhead (paper Table VII)",
+    ),
+    "remote-access-batching": (
+        Severity.WARNING,
+        "indirect (gather-style) remote reads feed arithmetic inside a "
+        "parallel loop; batch them with an inspector-executor gather "
+        "into a local buffer",
+    ),
+    "aggregation-candidate": (
+        Severity.WARNING,
+        "scalar read-modify-write through an indirection-determined "
+        "destination in a parallel loop; aggregate updates per locale "
+        "and flush in bulk",
+    ),
+    "indirection-hoist": (
+        Severity.WARNING,
+        "indirection index reloaded every inner-loop iteration although "
+        "it only depends on outer-loop state; hoist the load out of the "
+        "inner loop",
     ),
     "forall-race": (
         Severity.ERROR,

@@ -9,6 +9,7 @@ then runs the requested passes over a shared :class:`AnalysisContext`.
 
 from __future__ import annotations
 
+from ..errors import AnalysisError
 from ..ir.module import Module
 from ..ir.verifier import verify_for_analysis
 from .context import AnalysisContext
@@ -33,6 +34,12 @@ PASS_REGISTRY: dict[str, type[AnalysisPass]] = {}
 
 
 def register_pass(cls: type[AnalysisPass]) -> type[AnalysisPass]:
+    existing = PASS_REGISTRY.get(cls.name)
+    if existing is not None and existing is not cls:
+        raise AnalysisError(
+            f"analysis pass name {cls.name!r} already registered by "
+            f"{existing.__module__}.{existing.__qualname__}"
+        )
     PASS_REGISTRY[cls.name] = cls
     return cls
 
@@ -48,6 +55,7 @@ def default_passes() -> list[AnalysisPass]:
 def _ensure_registered() -> None:
     # Importing the pass modules populates PASS_REGISTRY.
     from . import advisor as _advisor  # noqa: F401
+    from . import comm_advisor as _comm_advisor  # noqa: F401
     from . import races as _races  # noqa: F401
 
 

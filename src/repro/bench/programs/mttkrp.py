@@ -1,0 +1,227 @@
+"""Sparse MTTKRP — matricized tensor times Khatri-Rao product.
+
+The second irregular workload of the communication-advisor suite: a
+COO 3-mode tensor contracted against two dense factor matrices,
+
+    out[mode1[e], r] += val[e] * B[mode2[e], r] * C[mode3[e], r]
+
+for every nonzero ``e`` and rank column ``r``.  The edge-parallel
+original exhibits *all three* advisor anti-patterns at once:
+
+* indirect gathers of ``B``/``C`` rows feeding arithmetic
+  (remote-access-batching),
+* scattered read-modify-writes into ``out`` through ``mode1``
+  (aggregation-candidate),
+* the ``mode1[e]``/``mode2[e]``/``mode3[e]`` loads re-executed every
+  iteration of the inner rank loop although ``e`` is fixed there
+  (indirection-hoist).
+
+The **optimized** variant applies the corresponding rewrites: factor
+rows are bulk-gathered into edge order once per call (with the mode
+indices hoisted into scalars), and the compute loop walks CSR-style
+row windows accumulating locally, finishing with a direct store.  The
+advisor must be silent on it.
+
+Tensor data is arithmetic — ``mode1`` sorted with ``nnzPerSlice``
+nonzeros per slice — so the slice pointers are computable in-program
+and edge chunks align to slice boundaries whenever ``n`` divides the
+task count (deterministic edge-parallel scatter).
+"""
+
+from __future__ import annotations
+
+# Keep n a multiple of the bench harness's task counts so edge chunks
+# align to mode-1 slices.
+DEFAULT_CONFIG: dict[str, object] = {
+    "n": 48,
+    "m": 32,
+    "nnzPerSlice": 4,
+    "fRank": 6,
+    "iters": 2,
+}
+
+_PRELUDE = """
+// MTTKRP (mini-Chapel port) -- sparse tensor times Khatri-Rao product
+config const n: int = 48;
+config const m: int = 32;
+config const nnzPerSlice: int = 4;
+config const fRank: int = 6;
+config const iters: int = 2;
+
+var Dn: domain(1) = {1..n};
+var Dn1: domain(1) = {1..n+1};
+var De: domain(1) = {1..n*nnzPerSlice};
+var Dm: domain(1) = {1..m};
+var DB: domain(2) = {1..m, 1..fRank};
+var Dout: domain(2) = {1..n, 1..fRank};
+
+var mode1: [De] int;
+var mode2: [De] int;
+var mode3: [De] int;
+var tval: [De] real;
+var B: [DB] real;
+var C: [DB] real;
+var outm: [Dout] real;
+
+// Irregular-domain prologue: the set of distinct mode-2 fibers seen,
+// as an associative domain with a per-fiber nonzero count.
+var fibers: domain(int);
+var fiberNnz: [fibers] int;
+
+proc initData() {
+  forall e in De {
+    mode1[e] = (e - 1) / nnzPerSlice + 1;
+    mode2[e] = ((e * 7) % m) + 1;
+    mode3[e] = ((e * 11) % m) + 1;
+    tval[e] = 0.01 * ((e % 5) + 1);
+  }
+  forall i in Dm {
+    for r in 1..fRank {
+      B[i, r] = 0.1 * i + 0.01 * r;
+      C[i, r] = 0.05 * i + 0.02 * r;
+    }
+  }
+  forall i in Dn {
+    for r in 1..fRank {
+      outm[i, r] = 0.0;
+    }
+  }
+}
+
+proc fiberStats(): int {
+  for e in 1..n*nnzPerSlice {
+    fibers += ((e * 7) % m) + 1;
+    fiberNnz[((e * 7) % m) + 1] += 1;
+  }
+  var s = 0;
+  forall f in fibers with (+ reduce s) {
+    s += fiberNnz[f];
+  }
+  return s + fibers.size();
+}
+
+proc checksum(): real {
+  var s = 0.0;
+  for i in 1..n {
+    for r in 1..fRank {
+      s += outm[i, r] * (i + r);
+    }
+  }
+  return s;
+}
+"""
+
+_KERNEL_ORIGINAL = """
+proc mttkrp() {
+  forall i in Dn {
+    for r in 1..fRank {
+      outm[i, r] = 0.0;
+    }
+  }
+  // edge-parallel COO scatter: the mode index loads repeat inside the
+  // rank loop, the factor-row reads are per-element gathers, and the
+  // output update is a scattered read-modify-write
+  forall e in De {
+    for r in 1..fRank {
+      outm[mode1[e], r] += tval[e] * B[mode2[e], r] * C[mode3[e], r];
+    }
+  }
+}
+
+proc setup() {
+}
+"""
+
+_KERNEL_OPTIMIZED = """
+var slicePtr: [Dn1] int;
+var DeR: domain(2) = {1..n*nnzPerSlice, 1..fRank};
+var BgR: [DeR] real;
+var CgR: [DeR] real;
+
+proc setup() {
+  // mode1 is sorted with a fixed stride by construction: the slice
+  // pointers are arithmetic
+  forall i in Dn1 {
+    slicePtr[i] = (i - 1) * nnzPerSlice + 1;
+  }
+}
+
+proc gatherFactors() {
+  // inspector-executor: hoist each mode index once, then bulk-gather
+  // the factor rows into edge order (pure gathers -- not findings)
+  forall e in De {
+    var m2 = mode2[e];
+    var m3 = mode3[e];
+    for r in 1..fRank {
+      BgR[e, r] = B[m2, r];
+      CgR[e, r] = C[m3, r];
+    }
+  }
+}
+
+proc mttkrp() {
+  gatherFactors();
+  // slice-parallel CSR: contiguous edge window per output row, local
+  // accumulator, one direct store per (row, rank) cell
+  forall i in Dn {
+    for r in 1..fRank {
+      var acc = 0.0;
+      for e in slicePtr[i]..slicePtr[i+1]-1 {
+        acc += tval[e] * BgR[e, r] * CgR[e, r];
+      }
+      outm[i, r] = acc;
+    }
+  }
+}
+"""
+
+_MAIN = """
+proc main() {
+  initData();
+  var fs = fiberStats();
+  setup();
+  for it in 1..iters {
+    mttkrp();
+  }
+  writeln("checksum", checksum());
+  writeln("fibers", fs);
+}
+"""
+
+VARIANTS = ("original", "optimized")
+
+
+def build_source(variant: str = "original", optimized: bool = False) -> str:
+    """Returns mini-Chapel source for the requested MTTKRP variant."""
+    if optimized:
+        variant = "optimized"
+    if variant not in VARIANTS:
+        raise ValueError(
+            f"unknown mttkrp variant {variant!r} (want {'|'.join(VARIANTS)})"
+        )
+    kernel = {
+        "original": _KERNEL_ORIGINAL,
+        "optimized": _KERNEL_OPTIMIZED,
+    }[variant]
+    return "\n".join([_PRELUDE, kernel, _MAIN])
+
+
+def config_for(
+    n: int | None = None,
+    m: int | None = None,
+    nnz_per_slice: int | None = None,
+    f_rank: int | None = None,
+    iters: int | None = None,
+) -> dict[str, object]:
+    cfg = dict(DEFAULT_CONFIG)
+    if n is not None:
+        cfg["n"] = n
+    if m is not None:
+        cfg["m"] = m
+    if nnz_per_slice is not None:
+        cfg["nnzPerSlice"] = nnz_per_slice
+    if f_rank is not None:
+        cfg["fRank"] = f_rank
+    if iters is not None:
+        cfg["iters"] = iters
+    return cfg

@@ -1,0 +1,231 @@
+"""SpMV — sparse matrix-vector multiply, mini-Chapel port.
+
+The canonical irregular kernel of the Rolinger et al. line of work:
+a COO-format sparse matrix drives indirection-addressed accesses
+(``y[row[e]] += Aval[e] * x[col[e]]``), the access pattern whose
+fine-grained remote traffic dominates multi-locale runs.
+
+Three variants:
+
+* **original** — edge-parallel COO scatter: every task reads ``x``
+  through ``col`` (a gather per element) and read-modify-writes ``y``
+  through ``row`` (a scattered update per element).  The
+  communication advisor must flag both (remote-access-batching and
+  aggregation-candidate).
+* **optimized** — the hand rewrite the advisor recommends: an
+  inspector-executor bulk gather of ``x`` into edge order
+  (``xg[e] = x[col[e]]`` — a *pure* gather, deliberately not a
+  finding), then a row-parallel CSR loop accumulating into a local
+  scalar with one aligned store per row (``y[i] = acc`` is provably
+  local).  Zero communication findings.
+* **dense** — a dense row-parallel baseline over an ``n x n`` matrix:
+  no indirection anywhere, used as the blame-share reference for the
+  indirection arrays.
+
+All variants share a small sparse-subdomain / associative-domain
+pattern prologue (the new irregular-domain frontend features), and all
+produce identical checksums.
+
+The COO data is arithmetic — ``row`` sorted with ``nnzPerRow`` entries
+per row — so the CSR row pointers are computable in-program and, when
+``n`` divides the task count, edge chunks align to row boundaries
+(the edge-parallel scatter stays deterministic).
+"""
+
+from __future__ import annotations
+
+# Default problem size: tuned for the interpreter; keep n a multiple
+# of the bench harness's task counts so edge chunks align to rows.
+DEFAULT_CONFIG: dict[str, object] = {
+    "n": 64,
+    "nnzPerRow": 4,
+    "iters": 2,
+}
+
+_PRELUDE = """
+// SpMV (mini-Chapel port) -- sparse matrix-vector multiply, COO/CSR
+config const n: int = 64;
+config const nnzPerRow: int = 4;
+config const iters: int = 2;
+
+var Dn: domain(1) = {1..n};
+var Dn1: domain(1) = {1..n+1};
+var De: domain(1) = {1..n*nnzPerRow};
+
+var row: [De] int;
+var col: [De] int;
+var Aval: [De] real;
+var x: [Dn] real;
+var y: [Dn] real;
+
+// Irregular-domain pattern prologue: a sparse subdomain holding a
+// small corner of the matrix pattern plus an associative histogram of
+// the columns it touches (exercises the sparse/associative runtime).
+var P2: domain(2) = {1..8, 1..8};
+var spD: sparse subdomain(P2);
+var spA: [spD] real;
+var touched: domain(int);
+var hits: [touched] int;
+
+proc initData() {
+  forall i in Dn {
+    x[i] = 1.0 + (i % 5) * 0.25;
+    y[i] = 0.0;
+  }
+  forall e in De {
+    row[e] = (e - 1) / nnzPerRow + 1;
+    col[e] = ((e * 13) % n) + 1;
+    Aval[e] = 0.01 * ((e % 7) + 1);
+  }
+}
+
+proc patternStats(): int {
+  for k in 1..8 {
+    var j = ((k * 3) % 8) + 1;
+    spD += (k, j);
+    spA[k, j] = k * 0.5;
+    touched += j;
+    hits[j] += 1;
+  }
+  var s = 0;
+  forall idx in spD with (+ reduce s) {
+    s += idx[0] + idx[1];
+  }
+  var h = 0;
+  for j in touched {
+    h += hits[j];
+  }
+  return s + spD.size() + touched.size() + h;
+}
+
+proc checksum(): real {
+  var s = 0.0;
+  for i in 1..n {
+    s += y[i] * i;
+  }
+  return s;
+}
+"""
+
+_KERNEL_ORIGINAL = """
+proc spmv() {
+  forall i in Dn {
+    y[i] = 0.0;
+  }
+  // edge-parallel COO scatter: per-element gather of x through col,
+  // scattered read-modify-write of y through row
+  forall e in De {
+    y[row[e]] += Aval[e] * x[col[e]];
+  }
+}
+
+proc setup() {
+}
+"""
+
+_KERNEL_OPTIMIZED = """
+var rowPtr: [Dn1] int;
+var xg: [De] real;
+
+proc setup() {
+  // row is sorted with a fixed stride by construction: the CSR row
+  // pointers are arithmetic
+  forall i in Dn1 {
+    rowPtr[i] = (i - 1) * nnzPerRow + 1;
+  }
+}
+
+proc gatherX() {
+  // inspector-executor: one bulk gather of the indirectly-addressed
+  // x elements into edge order (a pure gather -- not a finding)
+  forall e in De {
+    xg[e] = x[col[e]];
+  }
+}
+
+proc spmv() {
+  gatherX();
+  // row-parallel CSR: contiguous window per row, local accumulator,
+  // one aligned (provably local) store per row
+  forall i in Dn {
+    var acc = 0.0;
+    for j in rowPtr[i]..rowPtr[i+1]-1 {
+      acc += Aval[j] * xg[j];
+    }
+    y[i] = acc;
+  }
+}
+"""
+
+_KERNEL_DENSE = """
+var D2: domain(2) = {1..n, 1..n};
+var Ad: [D2] real;
+
+proc setup() {
+  forall i in Dn {
+    for j in 1..n {
+      Ad[i, j] = 0.0;
+    }
+  }
+  for e in De {
+    Ad[row[e], col[e]] = Ad[row[e], col[e]] + Aval[e];
+  }
+}
+
+proc spmv() {
+  // dense row-parallel baseline: direct indexing only
+  forall i in Dn {
+    var acc = 0.0;
+    for j in 1..n {
+      acc += Ad[i, j] * x[j];
+    }
+    y[i] = acc;
+  }
+}
+"""
+
+_MAIN = """
+proc main() {
+  initData();
+  var sp = patternStats();
+  setup();
+  for it in 1..iters {
+    spmv();
+  }
+  writeln("checksum", checksum());
+  writeln("pattern", sp);
+}
+"""
+
+VARIANTS = ("original", "optimized", "dense")
+
+
+def build_source(variant: str = "original", optimized: bool = False) -> str:
+    """Returns mini-Chapel source for the requested SpMV variant."""
+    if optimized:
+        variant = "optimized"
+    if variant not in VARIANTS:
+        raise ValueError(
+            f"unknown spmv variant {variant!r} (want {'|'.join(VARIANTS)})"
+        )
+    kernel = {
+        "original": _KERNEL_ORIGINAL,
+        "optimized": _KERNEL_OPTIMIZED,
+        "dense": _KERNEL_DENSE,
+    }[variant]
+    return "\n".join([_PRELUDE, kernel, _MAIN])
+
+
+def config_for(
+    n: int | None = None,
+    nnz_per_row: int | None = None,
+    iters: int | None = None,
+) -> dict[str, object]:
+    cfg = dict(DEFAULT_CONFIG)
+    if n is not None:
+        cfg["n"] = n
+    if nnz_per_row is not None:
+        cfg["nnzPerRow"] = nnz_per_row
+    if iters is not None:
+        cfg["iters"] = iters
+    return cfg

@@ -302,6 +302,11 @@ class DataFlow:
             return self._set_roots(instr.result, self.roots_of(instr.base))
         if isinstance(instr, (I.ArraySlice, I.ArrayReindex)):
             return self._set_roots(instr.result, self.roots_of(instr.base))
+        if isinstance(instr, I.MakeSparseDomain):
+            # A sparse subdomain is derived from (and registered with)
+            # its parent — same descriptor-derivation aliasing as
+            # expand/translate/interior.
+            return self._set_roots(instr.result, self.roots_of(instr.parent_domain))
         if isinstance(instr, I.DomainOp):
             if instr.op in self._DESCRIPTOR_DOMAIN_OPS:
                 return self._set_roots(instr.result, self.roots_of(instr.base))
@@ -345,6 +350,19 @@ class DataFlow:
             if not self.options.descriptor_writes:
                 return
             for root in self.roots_of(instr.base):
+                self._add_write(root, instr)
+            return
+        if isinstance(instr, I.DomainOp) and instr.op == "insert":
+            # `spD += idx` mutates the domain (and every array declared
+            # over it) — a genuine source-level write, hence deep.
+            for root in self.roots_of(instr.base):
+                self._add_write(root, instr, deep=True)
+            return
+        if isinstance(instr, I.MakeSparseDomain):
+            if not self.options.descriptor_writes:
+                return
+            # Sparse subdomains register with their parent domain.
+            for root in self.roots_of(instr.parent_domain):
                 self._add_write(root, instr)
             return
         if isinstance(instr, I.MakeArray):

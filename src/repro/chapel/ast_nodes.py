@@ -83,6 +83,21 @@ class DomainTypeExpr(TypeExpr):
 
 
 @dataclass
+class SparseSubdomainTypeExpr(TypeExpr):
+    """``sparse subdomain(D)`` type annotation; ``parent`` is the
+    rectangular parent-domain expression (an identifier or literal)."""
+
+    parent: Expr
+
+
+@dataclass
+class AssocDomainTypeExpr(TypeExpr):
+    """``domain(int)`` associative-domain type annotation."""
+
+    idx: str = "int"
+
+
+@dataclass
 class RangeTypeExpr(TypeExpr):
     """``range`` type annotation."""
 

@@ -442,9 +442,22 @@ class Parser:
         if tok.kind is TokenKind.KW_DOMAIN:
             self._advance()
             self._expect(TokenKind.LPAREN)
+            # `domain(N)` is a rectangular domain of rank N;
+            # `domain(int)` is an associative domain keyed by int.
+            if self._at(TokenKind.KW_INT):
+                self._advance()
+                self._expect(TokenKind.RPAREN)
+                return ast.AssocDomainTypeExpr(loc=tok.loc)
             rank = int(self._expect(TokenKind.INT_LIT, "domain rank").text)
             self._expect(TokenKind.RPAREN)
             return ast.DomainTypeExpr(loc=tok.loc, rank=rank)
+        if tok.kind is TokenKind.KW_SPARSE:
+            self._advance()
+            self._expect(TokenKind.KW_SUBDOMAIN, "subdomain")
+            self._expect(TokenKind.LPAREN)
+            parent = self.parse_expression()
+            self._expect(TokenKind.RPAREN)
+            return ast.SparseSubdomainTypeExpr(loc=tok.loc, parent=parent)
         if tok.kind is TokenKind.KW_RANGE:
             self._advance()
             return ast.RangeTypeExpr(loc=tok.loc)

@@ -53,6 +53,8 @@ class TokenKind(enum.Enum):
     KW_BREAK = "break"
     KW_CONTINUE = "continue"
     KW_DOMAIN = "domain"
+    KW_SPARSE = "sparse"
+    KW_SUBDOMAIN = "subdomain"
     KW_REDUCE = "reduce"
     KW_NEW = "new"
     KW_NIL = "nil"
@@ -139,6 +141,8 @@ KEYWORDS: dict[str, TokenKind] = {
     "break": TokenKind.KW_BREAK,
     "continue": TokenKind.KW_CONTINUE,
     "domain": TokenKind.KW_DOMAIN,
+    "sparse": TokenKind.KW_SPARSE,
+    "subdomain": TokenKind.KW_SUBDOMAIN,
     "reduce": TokenKind.KW_REDUCE,
     "new": TokenKind.KW_NEW,
     "nil": TokenKind.KW_NIL,

@@ -75,6 +75,27 @@ class DomainType(Type):
 
 
 @dataclass(frozen=True)
+class SparseDomainType(DomainType):
+    """Sparse subdomain of a rectangular parent domain: holds an
+    explicit (sorted) subset of the parent's indices.  Arrays declared
+    over one store only the present indices — the irregular-workload
+    substrate (SpMV / MTTKRP nonzero sets)."""
+
+    def __str__(self) -> str:
+        return f"sparse subdomain({self.rank})"
+
+
+@dataclass(frozen=True)
+class AssociativeDomainType(DomainType):
+    """Associative domain keyed by ``int`` (``domain(int)``): an
+    insertion-ordered set of keys.  Always rank 1 — an index is one
+    key, not a coordinate tuple."""
+
+    def __str__(self) -> str:
+        return "domain(int)"
+
+
+@dataclass(frozen=True)
 class TupleType(Type):
     """Fixed-size tuple.  Chapel's ``3*real`` becomes a homogeneous
     3-element tuple; heterogeneous tuples keep per-element types."""

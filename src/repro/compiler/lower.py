@@ -34,12 +34,14 @@ from ..chapel.types import (
     STRING,
     VOID,
     ArrayType,
+    AssociativeDomainType,
     BoolType,
     DomainType,
     IntType,
     RangeType,
     RealType,
     RecordType,
+    SparseDomainType,
     StringType,
     TupleType,
     Type,
@@ -159,6 +161,8 @@ def _free_idents(node: object, bound: set[str]) -> set[str]:
             if t.domain is not None:
                 walk(t.domain, bound)
             walk_type(t.elem, bound)
+        elif isinstance(t, A.SparseSubdomainTypeExpr):
+            walk(t.parent, bound)
         elif isinstance(t, A.TupleTypeExpr):
             if t.elem is not None:
                 walk_type(t.elem, bound)
@@ -212,6 +216,11 @@ class Lowerer:
             return TupleType(tuple(self.resolve_type(e, fl) for e in t.elems))
         if isinstance(t, A.DomainTypeExpr):
             return DomainType(t.rank)
+        if isinstance(t, A.SparseSubdomainTypeExpr):
+            rank, _ = self._domain_expr_rank(t.parent, fl)
+            return SparseDomainType(rank)
+        if isinstance(t, A.AssocDomainTypeExpr):
+            return AssociativeDomainType(1)
         if isinstance(t, A.RangeTypeExpr):
             return RANGE
         if isinstance(t, A.ArrayTypeExpr):
@@ -660,6 +669,25 @@ class FunctionLowerer:
         if isinstance(ty, ArrayType):
             self._init_array_var(stmt, ty, addr, init_value, init_type)
             return
+        if isinstance(ty, SparseDomainType) and init_value is None:
+            # `var spD: sparse subdomain(D);` starts empty; indices are
+            # added with `spD += idx`.
+            if not isinstance(stmt.declared_type, A.SparseSubdomainTypeExpr):
+                raise TypeError_(
+                    f"sparse domain {stmt.name!r} needs a parent domain", loc
+                )
+            parent_v, parent_t = self.lower_expr(stmt.declared_type.parent)
+            if not isinstance(parent_t, DomainType):
+                raise TypeError_(
+                    "sparse subdomain parent must be a rectangular domain", loc
+                )
+            dom = self.builder.make_sparse_domain(loc, parent_v, ty)
+            self.builder.store(loc, dom, addr)
+            return
+        if isinstance(ty, AssociativeDomainType) and init_value is None:
+            dom = self.builder.make_assoc_domain(loc, ty)
+            self.builder.store(loc, dom, addr)
+            return
         if isinstance(ty, DomainType) and init_value is None:
             raise TypeError_(f"domain {stmt.name!r} needs an initializer", loc)
 
@@ -774,6 +802,31 @@ class FunctionLowerer:
                 return
             value = self.coerce(loc, value, value_ty, target_ty)
             self.builder.store(loc, value, addr)
+            return
+        if stmt.op == "+=" and isinstance(
+            target_ty, (SparseDomainType, AssociativeDomainType)
+        ):
+            # `spD += (i, j)` / `keys += k`: domain index insertion
+            # (Chapel's irregular-domain grow operation).
+            dom = self.builder.load(loc, addr, target_ty)
+            idx_v, idx_t = self.lower_expr(stmt.value)
+            if target_ty.rank == 1:
+                if not isinstance(idx_t, IntType):
+                    raise TypeError_(
+                        f"inserting into {target_ty} needs an int index", loc
+                    )
+            else:
+                if not (
+                    isinstance(idx_t, TupleType)
+                    and len(idx_t.elems) == target_ty.rank
+                    and all(isinstance(e, IntType) for e in idx_t.elems)
+                ):
+                    raise TypeError_(
+                        f"inserting into {target_ty} needs a "
+                        f"{target_ty.rank}-tuple of ints",
+                        loc,
+                    )
+            self.builder.domain_op(loc, "insert", dom, [idx_v], INT)
             return
         # Compound assignment: evaluate address once.
         op = stmt.op[0]

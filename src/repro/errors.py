@@ -16,6 +16,11 @@ class ReproError(Exception):
     """Base class for all errors raised deliberately by the tool."""
 
 
+class AnalysisError(ReproError, ValueError):
+    """The static-analysis layer was misconfigured (e.g. two passes
+    registered under the same name)."""
+
+
 class AggregationError(ReproError, ValueError):
     """Cross-locale aggregation failed (no mergeable reports, bad
     locale count, all locales lost)."""

@@ -156,6 +156,18 @@ class IRBuilder:
         self._emit(ins.MakeDomain(loc, reg, dims))
         return reg
 
+    def make_sparse_domain(
+        self, loc: SourceLocation, parent: ins.Value, ty: Type
+    ) -> ins.Register:
+        reg = ins.Register(ty, hint="spdom")
+        self._emit(ins.MakeSparseDomain(loc, reg, parent))
+        return reg
+
+    def make_assoc_domain(self, loc: SourceLocation, ty: Type) -> ins.Register:
+        reg = ins.Register(ty, hint="adom")
+        self._emit(ins.MakeAssocDomain(loc, reg))
+        return reg
+
     def make_array(
         self, loc: SourceLocation, domain: ins.Value, elem_type: Type, arr_type: Type
     ) -> ins.Register:

@@ -499,6 +499,40 @@ class MakeDomain(_SimpleOps, Instruction):
         self.ops = list(dims)
 
 
+class MakeSparseDomain(_SimpleOps, Instruction):
+    """Builds an empty sparse subdomain of a rectangular ``parent``
+    domain.  Indices are added dynamically via ``domainop.insert``
+    (the lowering of ``spD += idx``)."""
+
+    opname = "makesparsedomain"
+    __slots__ = ("ops",)
+
+    def __init__(
+        self, loc: SourceLocation, result: Register, parent: Value
+    ) -> None:
+        super().__init__(loc, result)
+        self.ops = [parent]
+
+    @property
+    def parent_domain(self) -> Value:
+        # (``parent`` is taken: the base Instruction uses it for the
+        # owning basic block.)
+        return self.ops[0]
+
+
+class MakeAssocDomain(Instruction):
+    """Builds an empty associative domain (``domain(int)``)."""
+
+    opname = "makeassocdomain"
+    __slots__ = ()
+
+    def __init__(self, loc: SourceLocation, result: Register) -> None:
+        super().__init__(loc, result)
+
+    def replace_operand(self, old: Value, new: Value) -> None:
+        pass
+
+
 class MakeArray(_SimpleOps, Instruction):
     """Heap-allocates an array over a domain.  This is the dynamic
     allocation that LULESH's ``determ``/``dvdx`` pay per call and that

@@ -29,12 +29,14 @@ from .tasking import (
 from .values import (
     ArrayChunk,
     ArrayValue,
+    AssociativeDomainValue,
     ClassValue,
     DomainChunk,
     DomainValue,
     RangeValue,
     RecordValue,
     RuntimeError_,
+    SparseDomainValue,
     TupleValue,
     copy_value,
     default_value,
@@ -165,6 +167,8 @@ class Interpreter:
             I.CBr: self._ex_cbr,
             I.MakeRange: self._ex_make_range,
             I.MakeDomain: self._ex_make_domain,
+            I.MakeSparseDomain: self._ex_make_sparse_domain,
+            I.MakeAssocDomain: self._ex_make_assoc_domain,
             I.MakeArray: self._ex_make_array,
             I.ArraySlice: self._ex_array_slice,
             I.ArrayReindex: self._ex_array_reindex,
@@ -702,9 +706,28 @@ class Interpreter:
         frame.index += 1
         return self.cost_model.make_domain
 
+    def _ex_make_sparse_domain(
+        self, thread, task, frame, instr: I.MakeSparseDomain
+    ) -> int:
+        parent = self._val(frame, instr.parent_domain)
+        if not isinstance(parent, DomainValue):
+            raise RuntimeError_("sparse subdomain parent is not a domain")
+        frame.regs[instr.result.rid] = SparseDomainValue(parent)
+        frame.index += 1
+        return self.cost_model.make_domain
+
+    def _ex_make_assoc_domain(
+        self, thread, task, frame, instr: I.MakeAssocDomain
+    ) -> int:
+        frame.regs[instr.result.rid] = AssociativeDomainValue()
+        frame.index += 1
+        return self.cost_model.make_domain
+
     def _ex_make_array(self, thread, task, frame, instr: I.MakeArray) -> int:
         dom = self._val(frame, instr.domain)
-        if not isinstance(dom, DomainValue):
+        if not isinstance(
+            dom, (DomainValue, SparseDomainValue, AssociativeDomainValue)
+        ):
             raise RuntimeError_("array domain is not a domain value")
         n = dom.size
         elem_ty = instr.elem_type
@@ -720,6 +743,9 @@ class Interpreter:
             "array", n * slot_factor, instr.loc, frame.function.name
         )
         arr = ArrayValue(dom, elem_ty, data=data, heap_id=alloc.heap_id)
+        if isinstance(dom, (SparseDomainValue, AssociativeDomainValue)):
+            # Irregular domains grow; their arrays must grow with them.
+            dom.register_array(arr)
         frame.regs[instr.result.rid] = arr
         frame.index += 1
         # Allocation + zero-fill is charged per scalar slot — Chapel
@@ -779,6 +805,19 @@ class Interpreter:
             else:
                 amounts = tuple(args)
             out = getattr(base, op)(amounts)
+        elif op == "insert":
+            idx = args[0]
+            if isinstance(base, SparseDomainValue):
+                coords = (
+                    tuple(idx.elems) if isinstance(idx, TupleValue) else (idx,)
+                )
+                out = base.insert(coords)
+            elif isinstance(base, AssociativeDomainValue):
+                out = base.insert(idx)
+            else:
+                raise RuntimeError_(
+                    "index insertion on a non-irregular domain"
+                )
         else:
             raise RuntimeError_(f"unknown domain op {op!r}")
         frame.regs[instr.result.rid] = out
@@ -845,6 +884,9 @@ class Interpreter:
             state = IterState("range", -1, it.size - 1, it, z)
             cost = cm.iter_init_range
         elif isinstance(it, DomainValue):
+            state = IterState("domain", -1, it.size - 1, it, z)
+            cost = cm.iter_init_domain
+        elif isinstance(it, (SparseDomainValue, AssociativeDomainValue)):
             state = IterState("domain", -1, it.size - 1, it, z)
             cost = cm.iter_init_domain
         elif isinstance(it, DomainChunk):

@@ -25,10 +25,12 @@ from ..ir.module import BasicBlock, Function
 from .values import (
     ArrayChunk,
     ArrayValue,
+    AssociativeDomainValue,
     DomainChunk,
     DomainValue,
     RangeValue,
     RuntimeError_,
+    SparseDomainValue,
 )
 
 #: Synthetic function name for idle thread time (Fig. 4's top entry).
@@ -212,7 +214,7 @@ def chunk_iteration_space(
 def _iterable_size(it: object) -> int:
     if isinstance(it, RangeValue):
         return it.size
-    if isinstance(it, DomainValue):
+    if isinstance(it, (DomainValue, SparseDomainValue, AssociativeDomainValue)):
         return it.size
     if isinstance(it, ArrayValue):
         return it.size
@@ -224,7 +226,7 @@ def _iterable_size(it: object) -> int:
 def _chunk_one(it: object, lo: int, hi: int) -> object:
     if isinstance(it, RangeValue):
         return it.subrange_by_position(lo, hi)
-    if isinstance(it, DomainValue):
+    if isinstance(it, (DomainValue, SparseDomainValue, AssociativeDomainValue)):
         return DomainChunk(it, lo, hi)
     if isinstance(it, ArrayValue):
         return ArrayChunk(it, lo, hi)

@@ -21,6 +21,7 @@ loop's iteration space into a worker task.
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass
 from functools import cached_property
 from typing import Iterator
@@ -198,6 +199,133 @@ class DomainValue:
         return "{" + ", ".join(str(d) for d in self.dims) + "}"
 
 
+class SparseDomainValue:
+    """Sparse subdomain of a rectangular parent domain.
+
+    Holds an explicit *sorted* (row-major coordinate order) subset of
+    the parent's indices.  Mutable: ``insert`` adds an index, and every
+    array declared over the domain grows in place (a default-valued
+    element slides into the new position) — Chapel's sparse-domain
+    ``+=`` semantics.  Iteration order is the sorted coordinate order,
+    so runs are deterministic regardless of insertion order.
+    """
+
+    __slots__ = ("parent", "_coords", "_pos", "_arrays")
+
+    def __init__(self, parent: DomainValue) -> None:
+        self.parent = parent
+        self._coords: list[tuple[int, ...]] = []
+        self._pos: dict[tuple[int, ...], int] = {}
+        #: Arrays declared over this domain (grown on insert).
+        self._arrays: list[ArrayValue] = []
+
+    @property
+    def rank(self) -> int:
+        return self.parent.rank
+
+    @property
+    def size(self) -> int:
+        return len(self._coords)
+
+    def register_array(self, arr: "ArrayValue") -> None:
+        self._arrays.append(arr)
+
+    def contains(self, coords: tuple[int, ...]) -> bool:
+        return coords in self._pos
+
+    def insert(self, coords: tuple[int, ...]) -> int:
+        """Adds an index (no-op for duplicates); returns the new size."""
+        if len(coords) != self.rank:
+            raise RuntimeError_(
+                f"rank-{self.rank} sparse domain given index {coords}"
+            )
+        if not self.parent.contains(coords):
+            raise RuntimeError_(
+                f"index {coords} outside parent domain {self.parent}"
+            )
+        if coords in self._pos:
+            return len(self._coords)
+        p = bisect.bisect_left(self._coords, coords)
+        self._coords.insert(p, coords)
+        for i in range(p, len(self._coords)):
+            self._pos[self._coords[i]] = i
+        for arr in self._arrays:
+            arr.data.insert(p, default_value(arr.elem_type))
+        return len(self._coords)
+
+    def flat_of(self, coords: tuple[int, ...]) -> int:
+        pos = self._pos.get(coords)
+        if pos is None:
+            raise RuntimeError_(
+                f"index {coords} not a member of sparse domain "
+                f"(parent {self.parent})"
+            )
+        return pos
+
+    def coords_of(self, flat: int) -> tuple[int, ...]:
+        return self._coords[flat]
+
+    def iter_coords(self) -> Iterator[tuple[int, ...]]:
+        return iter(self._coords)
+
+    def __str__(self) -> str:
+        return f"sparse({self.size} of {self.parent})"
+
+
+class AssociativeDomainValue:
+    """Associative domain keyed by int (``domain(int)``).
+
+    An append-only insertion-ordered key set; arrays declared over it
+    grow by appending a default element per new key.  Rank is always 1.
+    """
+
+    __slots__ = ("_keys", "_pos", "_arrays")
+
+    rank = 1
+
+    def __init__(self) -> None:
+        self._keys: list[int] = []
+        self._pos: dict[int, int] = {}
+        self._arrays: list[ArrayValue] = []
+
+    @property
+    def size(self) -> int:
+        return len(self._keys)
+
+    def register_array(self, arr: "ArrayValue") -> None:
+        self._arrays.append(arr)
+
+    def contains(self, coords: tuple[int, ...]) -> bool:
+        return coords[0] in self._pos
+
+    def insert(self, key: int) -> int:
+        """Adds a key (no-op for duplicates); returns the new size."""
+        if key not in self._pos:
+            self._pos[key] = len(self._keys)
+            self._keys.append(key)
+            for arr in self._arrays:
+                arr.data.append(default_value(arr.elem_type))
+        return len(self._keys)
+
+    def flat_of(self, coords: tuple[int, ...]) -> int:
+        pos = self._pos.get(coords[0])
+        if pos is None:
+            raise RuntimeError_(
+                f"key {coords[0]} not a member of associative domain"
+            )
+        return pos
+
+    def coords_of(self, flat: int) -> tuple[int, ...]:
+        return (self._keys[flat],)
+
+    def iter_coords(self) -> Iterator[tuple[int, ...]]:
+        for k in self._keys:
+            yield (k,)
+
+    def __str__(self) -> str:
+        return f"assoc({self.size} keys)"
+
+
 @dataclass(frozen=True)
 class DomainChunk:
     """A contiguous block (by linear position) of a domain's iteration
@@ -330,10 +458,11 @@ class ArrayValue:
             # there is no coordinate translation, so a single bounds
             # check (inside the domain's flat_of) suffices.  The
             # out-of-bounds message is textually identical to the view
-            # path's.
+            # path's.  Irregular domains (sparse/associative) have no
+            # ``dims`` and take the generic flat_of path.
             dom = self.domain
-            dims = dom.dims
-            if len(dims) == 1:
+            dims = getattr(dom, "dims", None)
+            if dims is not None and len(dims) == 1:
                 d = dims[0]
                 c = coords[0]
                 if d.step == 1 and d.lo <= c <= d.hi:

@@ -639,10 +639,21 @@ def _benchmark_source(spec: str) -> tuple[str, str]:
 
     Variants: ``original`` (default) and ``optimized`` for every
     benchmark; LULESH additionally accepts ``cenn`` and ``vg`` for the
-    single-optimization variants.
+    single-optimization variants, SpMV a ``dense`` baseline.
     """
     name, _, variant = spec.partition(":")
     variant = variant or "original"
+    if name in ("spmv", "mttkrp"):
+        if name == "spmv":
+            from ..bench.programs import spmv as irr
+        else:
+            from ..bench.programs import mttkrp as irr
+        if variant not in irr.VARIANTS:
+            raise SystemExit(
+                f"unknown {name} variant {variant!r} "
+                f"(want {'|'.join(irr.VARIANTS)})"
+            )
+        return irr.build_source(variant), f"{name}.chpl"
     if name in ("minimd", "clomp"):
         if variant not in ("original", "optimized"):
             raise SystemExit(
@@ -672,7 +683,7 @@ def _benchmark_source(spec: str) -> tuple[str, str]:
             )
         return lulesh.build_source(variants[variant]), "lulesh.chpl"
     raise SystemExit(
-        f"unknown benchmark {name!r} (want minimd|clomp|lulesh)"
+        f"unknown benchmark {name!r} (want minimd|clomp|lulesh|spmv|mttkrp)"
     )
 
 
@@ -702,8 +713,9 @@ def advise_main(argv: list[str] | None = None) -> int:
     ap.add_argument(
         "--benchmark",
         metavar="NAME[:VARIANT]",
-        help="analyze a built-in benchmark (minimd|clomp|lulesh, variants "
-        "original|optimized; lulesh also cenn|vg) instead of a file",
+        help="analyze a built-in benchmark (minimd|clomp|lulesh|spmv|mttkrp, "
+        "variants original|optimized; lulesh also cenn|vg, spmv also dense) "
+        "instead of a file",
     )
     ap.add_argument(
         "--profile",

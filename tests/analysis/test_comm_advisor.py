@@ -1,0 +1,270 @@
+"""Communication-advisor pass tests: the batching / aggregation /
+hoisting passes fire on the anti-patterns, stay quiet on the optimized
+shapes (pure gathers, CSR-owned outputs, loop-variant indices), and
+join per-variable blame through the ranker.  Also covers the pass
+registry's duplicate-name guard."""
+
+import pytest
+
+from repro.analysis import (
+    AnalysisError,
+    AnalysisPass,
+    Severity,
+    analyze_module,
+    rank_findings,
+)
+from repro.analysis.passes import register_pass
+from repro.bench.programs import mttkrp, spmv
+from repro.blame.report import BlameReport, BlameRow, RunStats
+from repro.compiler.lower import compile_source
+
+COMM_RULES = {
+    "remote-access-batching",
+    "aggregation-candidate",
+    "indirection-hoist",
+}
+
+
+def comm_findings(source, filename="t.chpl"):
+    module = compile_source(source, filename)
+    return [f for f in analyze_module(module) if f.rule in COMM_RULES]
+
+
+def rules_of(findings):
+    return {f.rule for f in findings}
+
+
+class TestBatching:
+    def test_indirect_read_feeding_arithmetic_fires(self):
+        src = """
+var D: domain(1) = {1..32};
+var idx: [D] int;
+var a: [D] real;
+var b: [D] real;
+proc main() {
+  forall i in D {
+    b[i] = a[idx[i]] * 2.0;
+  }
+  writeln(b[1]);
+}
+"""
+        (f,) = comm_findings(src)
+        assert f.rule == "remote-access-batching"
+        assert f.severity is Severity.WARNING
+        assert "a" in f.variables and "idx" in f.variables
+
+    def test_pure_gather_is_quiet(self):
+        # The inspector-executor fix itself: indirect loads feeding
+        # only stores must not be re-flagged.
+        src = """
+var D: domain(1) = {1..32};
+var idx: [D] int;
+var a: [D] real;
+var g: [D] real;
+proc main() {
+  forall i in D {
+    g[i] = a[idx[i]];
+  }
+  writeln(g[1]);
+}
+"""
+        assert comm_findings(src) == []
+
+    def test_serial_indirection_is_quiet(self):
+        src = """
+var D: domain(1) = {1..32};
+var idx: [D] int;
+var a: [D] real;
+proc main() {
+  var s = 0.0;
+  for i in D {
+    s += a[idx[i]] * 2.0;
+  }
+  writeln(s);
+}
+"""
+        assert comm_findings(src) == []
+
+
+class TestAggregation:
+    def test_indirect_rmw_fires(self):
+        src = """
+var D: domain(1) = {1..32};
+var dest: [D] int;
+var h: [D] real;
+proc main() {
+  forall i in D {
+    h[dest[i]] += 1.0;
+  }
+  writeln(h[1]);
+}
+"""
+        findings = comm_findings(src)
+        assert "aggregation-candidate" in rules_of(findings)
+        (agg,) = [f for f in findings if f.rule == "aggregation-candidate"]
+        assert "h" in agg.variables and "dest" in agg.variables
+
+    def test_direct_rmw_is_quiet(self):
+        # CSR-style: each task owns its output cell.
+        src = """
+var D: domain(1) = {1..32};
+var h: [D] real;
+proc main() {
+  forall i in D {
+    h[i] += 1.0;
+  }
+  writeln(h[1]);
+}
+"""
+        assert comm_findings(src) == []
+
+    def test_indirect_overwrite_is_not_rmw(self):
+        # A plain store through indirection scatters, but there is no
+        # read-modify-write to aggregate.
+        src = """
+var D: domain(1) = {1..32};
+var dest: [D] int;
+var h: [D] real;
+proc main() {
+  forall i in D {
+    h[dest[i]] = 1.0;
+  }
+  writeln(h[1]);
+}
+"""
+        assert "aggregation-candidate" not in rules_of(comm_findings(src))
+
+
+class TestHoist:
+    def test_invariant_indirection_in_inner_loop_fires(self):
+        src = """
+var D: domain(1) = {1..16};
+var DO: domain(2) = {1..16, 1..4};
+var idx: [D] int;
+var o: [DO] real;
+proc main() {
+  forall e in D {
+    for r in 1..4 {
+      o[idx[e], r] = 1.0;
+    }
+  }
+  writeln(o[1, 1]);
+}
+"""
+        findings = comm_findings(src)
+        assert rules_of(findings) == {"indirection-hoist"}
+        (f,) = findings
+        assert f.variables == ("idx",)
+        assert "hoist" in f.remediation
+
+    def test_loop_variant_index_is_quiet(self):
+        # idx[r] changes every inner iteration: nothing to hoist.
+        src = """
+var D: domain(1) = {1..16};
+var Dr: domain(1) = {1..4};
+var DO: domain(2) = {1..16, 1..4};
+var idx: [Dr] int;
+var o: [DO] real;
+proc main() {
+  forall e in D {
+    for r in 1..4 {
+      o[idx[r], r] = 1.0;
+    }
+  }
+  writeln(o[1, 1]);
+}
+"""
+        assert comm_findings(src) == []
+
+    def test_hoisted_scalar_is_quiet(self):
+        # The fix: load once into a scalar before the inner loop.
+        src = """
+var D: domain(1) = {1..16};
+var DO: domain(2) = {1..16, 1..4};
+var idx: [D] int;
+var o: [DO] real;
+proc main() {
+  forall e in D {
+    var m = idx[e];
+    for r in 1..4 {
+      o[m, r] = 1.0;
+    }
+  }
+  writeln(o[1, 1]);
+}
+"""
+        assert comm_findings(src) == []
+
+
+class TestBenchmarks:
+    def test_spmv_original_fires(self):
+        findings = comm_findings(spmv.build_source("original"), "spmv.chpl")
+        assert rules_of(findings) == {
+            "remote-access-batching",
+            "aggregation-candidate",
+        }
+        # Both findings sit on the scatter statement and name the
+        # indirection arrays the profile can blame.
+        for f in findings:
+            assert "row" in f.variables
+
+    @pytest.mark.parametrize("variant", ["optimized", "dense"])
+    def test_spmv_rewrites_are_quiet(self, variant):
+        assert comm_findings(spmv.build_source(variant), "spmv.chpl") == []
+
+    def test_mttkrp_original_fires_all_three(self):
+        findings = comm_findings(
+            mttkrp.build_source("original"), "mttkrp.chpl"
+        )
+        assert rules_of(findings) == COMM_RULES
+        (hoist,) = [f for f in findings if f.rule == "indirection-hoist"]
+        assert hoist.variables == ("mode1", "mode2", "mode3")
+
+    def test_mttkrp_optimized_is_quiet(self):
+        assert (
+            comm_findings(mttkrp.build_source("optimized"), "mttkrp.chpl")
+            == []
+        )
+
+    def test_ranker_joins_blame_to_batching_advice(self):
+        module = compile_source(spmv.build_source("original"), "spmv.chpl")
+        findings = [
+            f for f in analyze_module(module) if f.rule in COMM_RULES
+        ]
+        report = BlameReport(
+            program="spmv.chpl",
+            rows=[
+                BlameRow("row", "[De] int", 0.4, "main", 40, False),
+                BlameRow("x", "[Dn] real", 0.2, "main", 20, False),
+            ],
+            stats=RunStats(),
+        )
+        ranked = rank_findings(findings, report)
+        by_rule = {f.rule: f for f in ranked}
+        # max over each finding's variables: row dominates both.
+        assert by_rule["remote-access-batching"].blame == 0.4
+        assert by_rule["aggregation-candidate"].blame == 0.4
+
+
+class TestRegistryGuard:
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(AnalysisError, match="remote-access-batching"):
+
+            @register_pass
+            class Dup(AnalysisPass):  # pragma: no cover - never registered
+                name = "remote-access-batching"
+                description = "duplicate"
+
+                def run(self, ctx):
+                    return []
+
+    def test_reregistering_same_class_is_idempotent(self):
+        from repro.analysis.comm_advisor import RemoteAccessBatchingPass
+
+        assert (
+            register_pass(RemoteAccessBatchingPass)
+            is RemoteAccessBatchingPass
+        )
+
+    def test_analysis_error_is_value_error(self):
+        assert issubclass(AnalysisError, ValueError)

@@ -67,6 +67,16 @@ class TestFinding:
         ordered = sorted([a, d, c, b], key=sort_key)
         assert ordered == [b, c, d, a]
 
+    def test_sort_key_is_total(self):
+        # Findings differing only in their iid tuples must still order
+        # deterministically: the key never falls back to object
+        # comparison, so rendered output is byte-stable run to run.
+        a = mk(iids=(9, 12))
+        b = mk(iids=(3, 4))
+        assert sort_key(a) != sort_key(b)
+        assert sorted([a, b], key=sort_key) == sorted([b, a], key=sort_key)
+        assert sorted([a, b], key=sort_key) == [b, a]
+
     def test_max_severity(self):
         assert max_severity([]) is None
         assert (

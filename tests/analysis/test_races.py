@@ -5,7 +5,7 @@ benchmarks are race-free in every variant."""
 import pytest
 
 from repro.analysis import Severity, analyze_module
-from repro.bench.programs import clomp, lulesh, minimd
+from repro.bench.programs import clomp, lulesh, minimd, mttkrp, spmv
 from repro.compiler.lower import compile_source
 
 
@@ -184,6 +184,78 @@ proc main() {
         assert races_in(src) == []
 
 
+class TestIrregularDomainForalls:
+    """The detector's judgments carry over to the irregular domains:
+    index-disjoint writes over associative/sparse domains stay clean,
+    shared-scalar accumulation still fires, reduce intents protect."""
+
+    def test_assoc_domain_index_disjoint_write_is_clean(self):
+        src = """
+var keys: domain(int);
+var histo: [keys] int;
+proc main() {
+  for k in 1..8 {
+    keys += k;
+  }
+  forall k in keys {
+    histo[k] = k * 2;
+  }
+  writeln(histo[3]);
+}
+"""
+        assert races_in(src) == []
+
+    def test_assoc_domain_shared_scalar_race_fires(self):
+        src = """
+var keys: domain(int);
+var total: int;
+proc main() {
+  for k in 1..8 {
+    keys += k;
+  }
+  forall k in keys {
+    total = total + k;
+  }
+  writeln(total);
+}
+"""
+        (f,) = races_in(src)
+        assert f.variables == ("total",)
+
+    def test_assoc_domain_reduce_intent_protects(self):
+        src = """
+var keys: domain(int);
+var total: int;
+proc main() {
+  for k in 1..8 {
+    keys += k;
+  }
+  forall k in keys with (+ reduce total) {
+    total += k;
+  }
+  writeln(total);
+}
+"""
+        assert races_in(src) == []
+
+    def test_sparse_domain_forall_with_reduce_is_clean(self):
+        src = """
+var P: domain(2) = {1..8, 1..8};
+var spD: sparse subdomain(P);
+var s: int;
+proc main() {
+  for k in 1..8 {
+    spD += (k, k);
+  }
+  forall idx in spD with (+ reduce s) {
+    s += idx[0] + idx[1];
+  }
+  writeln(s);
+}
+"""
+        assert races_in(src) == []
+
+
 class TestBenchmarksAreClean:
     """Acceptance: zero races on every shipped benchmark variant."""
 
@@ -205,3 +277,13 @@ class TestBenchmarksAreClean:
     def test_lulesh(self, variant):
         src = lulesh.build_source(variant)
         assert races_in(src, "lulesh.chpl") == []
+
+    @pytest.mark.parametrize("variant", ["original", "optimized", "dense"])
+    def test_spmv(self, variant):
+        src = spmv.build_source(variant)
+        assert races_in(src, "spmv.chpl") == []
+
+    @pytest.mark.parametrize("variant", ["original", "optimized"])
+    def test_mttkrp(self, variant):
+        src = mttkrp.build_source(variant)
+        assert races_in(src, "mttkrp.chpl") == []

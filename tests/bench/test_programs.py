@@ -3,7 +3,7 @@ optimized rewrites are semantics-preserving (identical outputs)."""
 
 import pytest
 
-from repro.bench.programs import clomp, example_fig1, lulesh, minimd
+from repro.bench.programs import clomp, example_fig1, lulesh, minimd, mttkrp, spmv
 from repro.compiler.lower import compile_source
 from repro.runtime.interpreter import Interpreter
 
@@ -103,6 +103,69 @@ class TestLulesh:
         )
         # loop 2 body appears with literal indices
         assert "x8n[e][0]" in src and "x8n[e][7]" in src
+
+
+SMALL_SPMV = {"n": 16, "nnzPerRow": 3, "iters": 1}
+SMALL_MTTKRP = {"n": 16, "m": 8, "nnzPerSlice": 3, "fRank": 3, "iters": 1}
+
+
+class TestSpmv:
+    def test_original_runs(self):
+        r = run(spmv.build_source("original"), SMALL_SPMV, "s.chpl")
+        assert any(l.startswith("checksum") for l in r.output)
+        assert any(l.startswith("pattern") for l in r.output)
+
+    @pytest.mark.parametrize("variant", ["optimized", "dense"])
+    def test_variants_equivalent(self, variant):
+        a = run(spmv.build_source("original"), SMALL_SPMV, "s.chpl")
+        b = run(spmv.build_source(variant), SMALL_SPMV, "s.chpl")
+        assert non_timing(a.output) == non_timing(b.output)
+
+    def test_equivalent_at_default_size(self):
+        cfg = spmv.config_for()
+        a = run(spmv.build_source("original"), cfg, "s.chpl")
+        b = run(spmv.build_source("optimized"), cfg, "s.chpl")
+        assert non_timing(a.output) == non_timing(b.output)
+
+    def test_optimized_flag_alias(self):
+        assert spmv.build_source(optimized=True) == spmv.build_source(
+            "optimized"
+        )
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ValueError):
+            spmv.build_source("blocked")
+
+    def test_config_helper(self):
+        cfg = spmv.config_for(n=32, iters=3)
+        assert cfg["n"] == 32 and cfg["iters"] == 3
+        assert cfg["nnzPerRow"] == spmv.DEFAULT_CONFIG["nnzPerRow"]
+
+
+class TestMttkrp:
+    def test_original_runs(self):
+        r = run(mttkrp.build_source("original"), SMALL_MTTKRP, "k.chpl")
+        assert any(l.startswith("checksum") for l in r.output)
+        assert any(l.startswith("fibers") for l in r.output)
+
+    def test_optimized_equivalent(self):
+        a = run(mttkrp.build_source("original"), SMALL_MTTKRP, "k.chpl")
+        b = run(mttkrp.build_source("optimized"), SMALL_MTTKRP, "k.chpl")
+        assert non_timing(a.output) == non_timing(b.output)
+
+    def test_equivalent_at_default_size(self):
+        cfg = mttkrp.config_for()
+        a = run(mttkrp.build_source("original"), cfg, "k.chpl")
+        b = run(mttkrp.build_source("optimized"), cfg, "k.chpl")
+        assert non_timing(a.output) == non_timing(b.output)
+
+    def test_config_helper(self):
+        cfg = mttkrp.config_for(f_rank=4, m=16)
+        assert cfg["fRank"] == 4 and cfg["m"] == 16
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ValueError):
+            mttkrp.build_source("dense")
 
 
 class TestFig1Example:

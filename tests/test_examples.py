@@ -54,6 +54,15 @@ class TestExamples:
         assert "no findings" in out
         assert "forall-race" in out
 
+    def test_irregular_advisor_tour(self, capsys):
+        load("irregular_advisor_tour.py").main()
+        out = capsys.readouterr().out
+        assert "remote-access-batching" in out
+        assert "communication findings: 0" in out
+        assert "observed off-locale: 0" in out
+        assert "indirection-hoist" in out
+        assert "quiet" in out
+
     def test_all_examples_importable(self):
         # The slow walkthroughs at least parse/import cleanly.
         for name in os.listdir(EXAMPLES):

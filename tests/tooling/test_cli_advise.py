@@ -113,6 +113,44 @@ class TestBenchmarkResolution:
         assert advise_main(["--benchmark", "minimd:optimized"]) == 0
         assert "no findings" in capsys.readouterr().out
 
+    def test_spmv_original_fires_comm_advice(self, capsys):
+        assert advise_main(["--benchmark", "spmv:original"]) == 0
+        out = capsys.readouterr().out
+        assert "remote-access-batching" in out
+        assert "aggregation-candidate" in out
+
+    COMM_RULES = [
+        "remote-access-batching",
+        "aggregation-candidate",
+        "indirection-hoist",
+    ]
+
+    def test_spmv_optimized_is_quiet(self, capsys):
+        assert (
+            advise_main(
+                ["--benchmark", "spmv:optimized", "--rules", *self.COMM_RULES]
+            )
+            == 0
+        )
+        assert "no findings" in capsys.readouterr().out
+
+    def test_spmv_dense_variant_resolves(self, capsys):
+        assert (
+            advise_main(
+                ["--benchmark", "spmv:dense", "--rules", *self.COMM_RULES]
+            )
+            == 0
+        )
+        assert "no findings" in capsys.readouterr().out
+
+    def test_mttkrp_original_fires_hoist(self, capsys):
+        assert advise_main(["--benchmark", "mttkrp"]) == 0
+        assert "indirection-hoist" in capsys.readouterr().out
+
+    def test_unknown_spmv_variant_rejected(self):
+        with pytest.raises(SystemExit):
+            advise_main(["--benchmark", "spmv:blocked"])
+
     def test_unknown_benchmark_rejected(self):
         with pytest.raises(SystemExit):
             advise_main(["--benchmark", "hpl"])
