@@ -48,6 +48,9 @@ REASON_TRUNCATED = "truncated-stack"
 REASON_LOST_TAG = "lost-spawn-tag"
 REASON_NO_DEBUG = "no-debug-info"
 REASON_MALFORMED = "malformed-sample"
+#: A pool worker exhausted its retry budget and the whole shard's busy
+#: samples were folded into ``<unknown>`` (see pipeline/supervisor.py).
+REASON_WORKER_FAILED = "worker-failed"
 
 
 def _looks_stripped(name: str) -> bool:

@@ -12,6 +12,14 @@ from .parallel import (
     parallel_postmortem,
     resolve_backend,
 )
+from .supervisor import (
+    ShardSupervisor,
+    SupervisionOutcome,
+    SupervisionStats,
+    SupervisorConfig,
+    TaskRecord,
+    TaskState,
+)
 from .stages import (
     VIEWS,
     Collection,
@@ -34,6 +42,12 @@ __all__ = [
     "attribute_stage",
     "collect_stage",
     "compile_stage",
+    "ShardSupervisor",
+    "SupervisionOutcome",
+    "SupervisionStats",
+    "SupervisorConfig",
+    "TaskRecord",
+    "TaskState",
     "interpreter_pool_available",
     "parallel_analyze",
     "parallel_postmortem",

@@ -38,10 +38,20 @@ Pool backends
 ``inline``
     sequential in-process execution of the identical shard tasks (no
     pickling, no pool).  This is the determinism witness used by the
-    equivalence tests and the critical-path benchmark — it exercises
-    every seam of the sharded pipeline except the transport.
+    equivalence tests and the critical-path benchmark — with
+    supervision it also simulates the transport seam (crashes, hangs,
+    corrupt payloads) deterministically and without sleeping.
 ``auto``
     ``interpreter`` when available, else ``process``.
+
+Transport faults — a worker crashing, hanging, or shipping back a
+corrupted result — are handled by the
+:class:`~repro.pipeline.supervisor.ShardSupervisor`: every pool
+submission runs under a per-task state machine with bounded retry,
+per-task timeouts, optional speculation, and pool rebuild after
+``BrokenProcessPool``.  A shard that exhausts its retries degrades
+gracefully into the ``<unknown>`` blame bucket with ``worker-failed``
+provenance instead of aborting the run.
 
 Why the result is bit-identical, not merely equivalent: shards are
 contiguous, so concatenating per-shard outputs preserves stream order;
@@ -75,6 +85,8 @@ from ..blame.attribution import (
     merge_attributions,
 )
 from ..blame.postmortem import (
+    REASON_WORKER_FAILED,
+    DegradedSample,
     PostmortemConsumer,
     PostmortemResult,
     ShardEvidence,
@@ -84,6 +96,7 @@ from ..errors import ParallelError
 from ..sampling.sharding import shard_stream, shard_stream_weighted
 from ..sampling.stackwalk import StackResolver
 from .stages import aggregate_stage
+from .supervisor import ShardSupervisor, SupervisorConfig
 
 #: Worker-pool backends `resolve_backend` understands.
 BACKENDS = ("auto", "process", "interpreter", "inline")
@@ -189,10 +202,36 @@ def _analyze_shard(names: "list[str]"):
     }
 
 
-def _run_pool(backend, workers, state, task, payloads):
+def _run_pool(
+    backend,
+    workers,
+    state,
+    task,
+    payloads,
+    supervision: "SupervisorConfig | None" = None,
+    allow_degraded: bool = False,
+):
     """Runs ``task`` over ``payloads`` on the chosen backend, returning
-    results in payload order plus the pool's wall time."""
+    ``(results, supervision outcome, pool wall time)`` with results in
+    payload order.
+
+    With ``supervision`` every dispatch runs under the
+    :class:`~repro.pipeline.supervisor.ShardSupervisor` state machine
+    (retry/timeout/speculation/degradation); without it this is the
+    historical unsupervised fast path (one ``pool.map``, no retries) —
+    kept for the supervision-overhead benchmark's baseline.
+    """
     t0 = time.perf_counter()
+    if supervision is not None:
+        sup = ShardSupervisor(
+            backend,
+            workers,
+            state,
+            config=supervision,
+            setup_inline=_set_worker_state,
+        )
+        outcome = sup.map(task, payloads, allow_degraded=allow_degraded)
+        return outcome.results, outcome, time.perf_counter() - t0
     if backend == "inline":
         _set_worker_state(*state)
         results = [task(p) for p in payloads]
@@ -209,7 +248,7 @@ def _run_pool(backend, workers, state, task, payloads):
             initargs=(blob,),
         ) as pool:
             results = list(pool.map(task, payloads))
-    return results, time.perf_counter() - t0
+    return results, None, time.perf_counter() - t0
 
 
 # -- parent side --------------------------------------------------------------
@@ -251,6 +290,13 @@ class ParallelPostmortem:
     pool_seconds: float = 0.0
     backend: str = ""
     workers: int = 0
+    #: Supervision accounting when the fan-out ran supervised
+    #: (:class:`~repro.pipeline.supervisor.SupervisionStats`; None on
+    #: the unsupervised fast path).
+    supervision: "object | None" = None
+    #: Shard indices that exhausted their retry budget and were folded
+    #: into ``<unknown>`` with ``worker-failed`` provenance.
+    degraded_shards: tuple[int, ...] = ()
 
     @property
     def critical_path_seconds(self) -> float:
@@ -284,6 +330,7 @@ def parallel_postmortem(
     num_threads: int = 0,
     locale_id: int = 0,
     fault_stats: "dict | None" = None,
+    supervision: "SupervisorConfig | None" = None,
 ) -> ParallelPostmortem:
     """Sharded post-mortem + attribution over one locale's (already
     degraded) sample stream, reassembled through ``merge_snapshots``.
@@ -305,14 +352,19 @@ def parallel_postmortem(
     # with it bit-identity) does not.
     shards = shard_stream_weighted(samples, workers, postmortem_cost)
     state = (module, static_info, options, None)
-    results, pool_seconds = _run_pool(
+    results, sup_outcome, pool_seconds = _run_pool(
         backend, workers, state, _postmortem_shard,
         [(i, shard) for i, shard in enumerate(shards)],
+        supervision=supervision, allow_degraded=True,
     )
-    results.sort(key=lambda r: r[0])
-    states = [r[1] for r in results]
-    shard_attrs = [r[2] for r in results]
-    shard_seconds = [r[3] for r in results]
+    # A supervised run may leave None holes: shards whose worker
+    # exhausted its retry budget.  Phase 2 works off the surviving
+    # shard states; the lost shards fold into <unknown> below.
+    degraded = tuple(i for i, r in enumerate(results) if r is None)
+    ok = sorted((r for r in results if r is not None), key=lambda r: r[0])
+    states = [r[1] for r in ok]
+    shard_attrs = [r[2] for r in ok]
+    shard_seconds = [r[3] for r in ok]
 
     # Phase 2 (parent): merge evidence in shard (= stream) order, then
     # resolve every held-back candidate in global stream order.  The
@@ -328,17 +380,36 @@ def parallel_postmortem(
         stack_resolver=parent_resolver,
     )
 
-    # The exact serial PostmortemResult: intact instances in stream
-    # order, then recovered instances in candidate order — the order
-    # finish() emits them.
+    # Graceful shard-level degradation: a lost shard's samples are not
+    # silently dropped — idle samples are classified parent-side
+    # (``is_idle`` is a record field, no worker work involved) and
+    # every busy sample joins ``<unknown>`` with ``worker-failed``
+    # provenance, so the blame denominator stays honest and the views'
+    # degradation footer can report exactly what was lost.
+    degraded_unknown: list = []
+    degraded_runtime: list = []
+    for di in degraded:
+        for s in shards[di]:
+            if s.is_idle:
+                degraded_runtime.append(s)
+            else:
+                degraded_unknown.append(
+                    DegradedSample(s, REASON_WORKER_FAILED)
+                )
+
+    # The exact serial PostmortemResult (plus any degraded-shard fold):
+    # intact instances in stream order, then recovered instances in
+    # candidate order — the order finish() emits them.
     postmortem = PostmortemResult(
         instances=[i for st in states for i in st.instances] + recovered,
-        runtime_samples=[s for st in states for s in st.runtime_samples],
-        n_raw=sum(st.n_raw for st in states),
-        unknown=unknown,
+        runtime_samples=[s for st in states for s in st.runtime_samples]
+        + degraded_runtime,
+        n_raw=sum(st.n_raw for st in states)
+        + sum(len(shards[di]) for di in degraded),
+        unknown=unknown + degraded_unknown,
         quarantined=[d for st in states for d in st.quarantined],
         n_recovered=sum(st.n_repaired for st in states) + n_late,
-        n_runtime=sum(st.n_runtime for st in states),
+        n_runtime=sum(st.n_runtime for st in states) + len(degraded_runtime),
     )
     tail_attr = BlameAttributor(static_info).attribute(recovered)
     attribution = merge_attributions(shard_attrs + [tail_attr])
@@ -379,14 +450,18 @@ def parallel_postmortem(
                 postmortem_seconds=secs, include_temps=include_temps,
             )
         )
+    # The tail also carries everything the degraded shards left behind
+    # (their raw-sample counts, idle classification and <unknown>
+    # entries) — surviving shards' partials stay untouched, so a
+    # degraded run still reassembles through the same merge.
     tail_pm = PostmortemResult(
         instances=recovered,
-        runtime_samples=[],
-        n_raw=0,
-        unknown=unknown,
+        runtime_samples=degraded_runtime,
+        n_raw=sum(len(shards[di]) for di in degraded),
+        unknown=unknown + degraded_unknown,
         quarantined=[],
         n_recovered=n_late,
-        n_runtime=0,
+        n_runtime=len(degraded_runtime),
     )
     tail = _partial_snapshot(
         meta, catalog, tail_pm, tail_attr,
@@ -404,6 +479,18 @@ def parallel_postmortem(
     # reassembles a single run, so restore the serial identity.
     merged.meta = relabel(merged.meta, kind="profile", locale_id=locale_id)
     merged.report.locale_id = locale_id
+    # Supervision counters join the persisted fault-stats record ONLY
+    # when shards were actually lost: a supervised run whose retries
+    # all succeeded must stay byte-identical to the serial artifact
+    # (the counters still reach the stderr summary via
+    # ``ParallelPostmortem.supervision``).
+    if sup_outcome is not None and degraded:
+        sup_outcome.stats.degraded_samples = sum(
+            len(shards[di]) for di in degraded
+        )
+        fs = dict(fault_stats or {})
+        fs.update(sup_outcome.stats.as_fault_stats())
+        fault_stats = fs
     merged.fault_stats = fault_stats
     if min_blame > 0.0:
         # min_blame does not commute with sharding (the threshold is a
@@ -428,6 +515,8 @@ def parallel_postmortem(
         pool_seconds=pool_seconds,
         backend=backend,
         workers=workers,
+        supervision=sup_outcome.stats if sup_outcome is not None else None,
+        degraded_shards=degraded,
     )
 
 
@@ -487,6 +576,7 @@ def parallel_analyze(
     options=None,
     workers: int = 1,
     backend: str = "auto",
+    supervision: "SupervisorConfig | None" = None,
 ):
     """Static blame analysis with the per-function phase fanned out
     across pool workers (the analyses of distinct functions share only
@@ -530,8 +620,11 @@ def parallel_analyze(
             s for s in shard_stream(list(missing), workers) if s
         ]
         state = (module, None, opts, aliases)
-        parts, _secs = _run_pool(
-            backend, workers, state, _analyze_shard, name_shards
+        # Analysis has no <unknown> bucket to degrade into: a batch
+        # that exhausts its retries re-raises the transport error.
+        parts, _outcome, _secs = _run_pool(
+            backend, workers, state, _analyze_shard, name_shards,
+            supervision=supervision, allow_degraded=False,
         )
         for part in parts:
             for name, fn_info in part.items():

@@ -71,6 +71,7 @@ def analyze_stage(
     options: "object | None" = None,
     workers: int = 1,
     backend: str = "auto",
+    supervision: "object | None" = None,
 ) -> ModuleBlameInfo:
     """Step 1 — static blame analysis (pre-run, sample-independent;
     cached on the module, keyed by a content hash of its IR).
@@ -78,12 +79,15 @@ def analyze_stage(
     ``workers > 1`` fans the per-function phase out across a worker
     pool (:func:`repro.pipeline.parallel.parallel_analyze`); results
     are content-identical and share the serial path's caches.
+    ``supervision`` (a :class:`~repro.pipeline.supervisor.
+    SupervisorConfig`) runs the fan-out under the shard supervisor.
     """
     if workers > 1:
         from .parallel import parallel_analyze
 
         return parallel_analyze(
-            module, options=options, workers=workers, backend=backend
+            module, options=options, workers=workers, backend=backend,
+            supervision=supervision,
         )
     return cached_module_blame_info(module, options=options)
 

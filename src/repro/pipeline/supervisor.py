@@ -1,0 +1,679 @@
+"""Supervised worker pool: every shard task is an explicit state machine.
+
+:mod:`repro.pipeline.parallel` documents why sharded results are
+bit-identical to serial ones; this module makes that hold when the
+*transport* misbehaves.  Each pool submission — a post-mortem shard or
+an analysis fan-out batch — is tracked as a per-task state machine::
+
+    PENDING ── dispatch ──▶ RUNNING ── ok ──────────────▶ DONE
+                              │ ▲                  (copy wins) SPECULATED
+                  crash/hang/ │ │ backoff elapsed
+                  corrupt     ▼ │
+                            RETRYING ── budget spent ──▶ DEGRADED
+
+with bounded retry + exponential backoff (the shared
+:mod:`repro.resilience.retrying` schedule), per-task wall-clock
+timeouts, optional straggler speculation (a timed-out task is raced
+against a fresh copy; first completed result wins, the loser is
+abandoned), and pool rebuild after ``BrokenProcessPool``.
+
+Failure is fuel for the existing degradation machinery, not a new error
+path: a task that exhausts its budget goes ``DEGRADED`` and the caller
+folds the shard's samples into the ``<unknown>`` blame bucket with
+``worker-failed`` provenance — exactly how a truncated stack walk
+degrades, one layer up.  The bit-identity contract survives because a
+retried task re-runs a *pure* function of its payload: any fault
+schedule that eventually succeeds yields the same per-task results,
+hence the same merged artifact, byte for byte.
+
+Fault decisions come from the parent (:func:`~repro.resilience.
+transport.directives_for`), ship inside the payload, and are executed
+by :func:`_run_supervised_task` in the worker — workers never roll
+dice, so a schedule replays exactly.  Result integrity is enforced by
+the CRC envelope only when the plan can corrupt payloads; the clean
+path ships raw results with no second pickle pass.
+"""
+
+from __future__ import annotations
+
+import enum
+import pickle
+import signal
+import time
+from concurrent import futures as _cf
+from dataclasses import dataclass, field
+
+from ..errors import (
+    PayloadCorruptError,
+    WorkerCrashError,
+    WorkerError,
+    WorkerInitError,
+    WorkerTimeoutError,
+)
+from ..resilience.retrying import RetryPolicy
+from ..resilience.transport import directives_for, seal, unseal
+
+
+class TaskState(enum.Enum):
+    """Where one shard task is in its supervised lifecycle."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    RETRYING = "retrying"
+    DONE = "done"
+    SPECULATED = "speculated"  # done, but the speculative copy won
+    DEGRADED = "degraded"  # retry budget spent; shard folded to <unknown>
+
+    @property
+    def terminal(self) -> bool:
+        return self in (
+            TaskState.DONE,
+            TaskState.SPECULATED,
+            TaskState.DEGRADED,
+        )
+
+
+@dataclass
+class TaskRecord:
+    """One task's supervised history (the state machine's tape)."""
+
+    index: int
+    state: TaskState = TaskState.PENDING
+    #: Every state ever entered, in order (transition tests read this).
+    history: list[TaskState] = field(default_factory=lambda: [TaskState.PENDING])
+    #: Total dispatches, speculative copies included (seeds directives).
+    dispatches: int = 0
+    #: Failed attempts charged against the retry budget.
+    failures: int = 0
+    errors: list[str] = field(default_factory=list)
+    speculated: bool = False
+
+    def to(self, state: TaskState) -> None:
+        self.state = state
+        self.history.append(state)
+
+    @property
+    def succeeded(self) -> bool:
+        return self.state in (TaskState.DONE, TaskState.SPECULATED)
+
+
+@dataclass(frozen=True)
+class SupervisorConfig:
+    """Supervision knobs (the CLI's ``--worker-*`` flags).
+
+    ``plan`` is a :class:`~repro.resilience.faults.FaultPlan` (or None)
+    supplying the injected transport schedule; retry/backoff follow the
+    shared :class:`~repro.resilience.retrying.RetryPolicy` arithmetic;
+    ``timeout`` is the per-task wall-clock budget in host seconds
+    (None: unbounded); ``speculate`` races a copy on timeout instead of
+    abandoning the original.
+    """
+
+    plan: "object | None" = None
+    timeout: "float | None" = None
+    max_retries: int = 2
+    backoff: float = 0.01
+    speculate: bool = False
+
+    def policy(self) -> RetryPolicy:
+        return RetryPolicy(max_retries=self.max_retries, backoff=self.backoff)
+
+
+@dataclass
+class SupervisionStats:
+    """What supervising one fan-out cost and saved."""
+
+    tasks: int = 0
+    retries: int = 0
+    crashes: int = 0
+    timeouts: int = 0
+    payload_corruptions: int = 0
+    pool_rebuilds: int = 0
+    init_failures: int = 0
+    speculated: int = 0
+    degraded_tasks: tuple[int, ...] = ()
+    degraded_samples: int = 0
+
+    @property
+    def any_faults(self) -> bool:
+        return bool(
+            self.retries
+            or self.crashes
+            or self.timeouts
+            or self.payload_corruptions
+            or self.pool_rebuilds
+            or self.init_failures
+            or self.speculated
+            or self.degraded_tasks
+        )
+
+    def as_fault_stats(self) -> dict:
+        """Flat numeric counters for the ``.cbp`` fault-stats record —
+        the artifact merge zero-fills and sums unknown numeric keys, so
+        these survive ``repro-profile merge`` unchanged."""
+        return {
+            "worker_tasks": self.tasks,
+            "worker_retries": self.retries,
+            "worker_crashes": self.crashes,
+            "worker_timeouts": self.timeouts,
+            "payload_corruptions": self.payload_corruptions,
+            "pool_rebuilds": self.pool_rebuilds,
+            "worker_init_failures": self.init_failures,
+            "speculated_tasks": self.speculated,
+            "degraded_shards": len(self.degraded_tasks),
+            "degraded_shard_samples": self.degraded_samples,
+        }
+
+    def summary(self) -> str:
+        """The one-line supervision summary the CLI prints on stderr."""
+        parts = [f"{self.tasks} tasks"]
+        if self.retries:
+            parts.append(f"{self.retries} retries")
+        if self.crashes:
+            parts.append(f"{self.crashes} crashes")
+        if self.timeouts:
+            parts.append(f"{self.timeouts} timeouts")
+        if self.payload_corruptions:
+            parts.append(f"{self.payload_corruptions} corrupt payloads")
+        if self.pool_rebuilds:
+            parts.append(f"{self.pool_rebuilds} pool rebuilds")
+        if self.init_failures:
+            parts.append(f"{self.init_failures} init failures")
+        if self.speculated:
+            parts.append(f"{self.speculated} speculated")
+        if self.degraded_tasks:
+            ids = ",".join(str(i) for i in self.degraded_tasks)
+            parts.append(
+                f"{len(self.degraded_tasks)} shard(s) degraded [{ids}]"
+            )
+        if len(parts) == 1:
+            parts.append("all clean")
+        return ", ".join(parts)
+
+
+@dataclass
+class SupervisionOutcome:
+    """One supervised fan-out: results (None where degraded), the
+    per-task records, and the aggregated stats."""
+
+    results: list
+    records: list[TaskRecord]
+    stats: SupervisionStats
+
+    @property
+    def degraded_indices(self) -> tuple[int, ...]:
+        return tuple(
+            r.index for r in self.records if r.state is TaskState.DEGRADED
+        )
+
+
+# -- worker side --------------------------------------------------------------
+
+
+def _run_supervised_task(payload):
+    """Top-level (picklable) wrapper every supervised dispatch runs:
+    executes the injected directive, then the real task.
+
+    ``mode`` is the concrete backend: a SIGKILL directive only kills a
+    real process worker ("process"); under "interpreter" (shared
+    process) it demotes to a clean crash, and the inline driver never
+    routes kills here at all.  A hang *sleeps* and then completes
+    normally — whether the stalled result is used is the supervisor's
+    call (timeout/speculation), exactly like a real straggler.
+    """
+    task, index, directives, inner, envelope, mode = payload
+    if directives.kill:
+        if mode == "process":
+            signal.raise_signal(signal.SIGKILL)
+        raise WorkerCrashError(
+            f"injected worker kill on task {index} ({mode} backend)"
+        )
+    if directives.crash:
+        raise WorkerCrashError(f"injected worker crash on task {index}")
+    if directives.hang and directives.hang_seconds > 0.0:
+        time.sleep(directives.hang_seconds)
+    result = task(inner)
+    if envelope:
+        return seal(result, corrupt=directives.corrupt, seed=index)
+    return result
+
+
+# -- parent side --------------------------------------------------------------
+
+
+class ShardSupervisor:
+    """Runs shard tasks on a pool backend under the per-task state
+    machine documented in the module docstring.
+
+    One supervisor maps one fan-out (``map`` may be called repeatedly;
+    stats accumulate).  ``allow_degraded`` is per-map: the post-mortem
+    path degrades gracefully, the analysis fan-out has no ``<unknown>``
+    bucket to fold into and re-raises instead.
+    """
+
+    def __init__(
+        self,
+        backend: str,
+        workers: int,
+        state: tuple,
+        config: "SupervisorConfig | None" = None,
+        setup_inline=None,
+    ) -> None:
+        self.backend = backend
+        self.workers = workers
+        self.config = config or SupervisorConfig()
+        self.stats = SupervisionStats()
+        self._setup_inline = setup_inline
+        self._state = state
+        plan = self.config.plan
+        self._envelope = bool(
+            plan is not None and plan.has_payload_faults and backend != "inline"
+        )
+        self._init_fails_left = (
+            plan.init_pickle_failures if plan is not None else 0
+        )
+        if backend != "inline":
+            try:
+                self._blob = pickle.dumps(
+                    state, protocol=pickle.HIGHEST_PROTOCOL
+                )
+            except (pickle.PicklingError, TypeError, AttributeError) as exc:
+                # CPython raises bare TypeError/AttributeError for some
+                # unpicklable objects (locals, lambdas); all of them
+                # mean the same thing here.
+                raise WorkerInitError(
+                    f"worker initializer blob would not pickle for the "
+                    f"{backend!r} backend: {exc}"
+                ) from exc
+
+    # -- pool construction ------------------------------------------------
+
+    def _build_pool(self, n_tasks: int):
+        """Builds the executor, retrying injected (transient)
+        initializer failures on the shared backoff schedule; a genuine
+        pickling failure raised in ``__init__`` is never retried."""
+        from .parallel import _init_worker
+
+        policy = self.config.policy()
+        failures = 0
+        while True:
+            if self._init_fails_left > 0:
+                self._init_fails_left -= 1
+                self.stats.init_failures += 1
+                failures += 1
+                if not policy.allows(failures):
+                    raise WorkerInitError(
+                        f"injected initializer failure persisted through "
+                        f"{failures} attempts ({self.backend} backend)",
+                        transient=True,
+                    )
+                time.sleep(policy.delay(failures))
+                continue
+            pool_cls = (
+                _cf.ProcessPoolExecutor
+                if self.backend == "process"
+                else _cf.InterpreterPoolExecutor
+            )
+            return pool_cls(
+                max_workers=max(1, min(self.workers, n_tasks)),
+                initializer=_init_worker,
+                initargs=(self._blob,),
+            )
+
+    # -- the supervised map ----------------------------------------------
+
+    def map(self, task, payloads, allow_degraded: bool = False):
+        """Runs ``task`` over ``payloads``; returns a
+        :class:`SupervisionOutcome` whose results are in payload order
+        with ``None`` holes where shards degraded (only possible with
+        ``allow_degraded``; otherwise the last transport error
+        re-raises once a task's budget is spent)."""
+        if self.backend == "inline":
+            return self._map_inline(task, payloads, allow_degraded)
+        return self._map_pool(task, payloads, allow_degraded)
+
+    # The inline backend is the determinism witness: the same state
+    # machine, dispatch accounting and envelope seam run sequentially
+    # in-process (hangs are modeled against the timeout, not slept;
+    # kills break a simulated pool).
+    def _map_inline(self, task, payloads, allow_degraded: bool):
+        if self._setup_inline is not None:
+            self._setup_inline(*self._state)
+        cfg = self.config
+        plan = cfg.plan
+        policy = cfg.policy()
+        records = [TaskRecord(i) for i in range(len(payloads))]
+        results: list = [None] * len(payloads)
+        self.stats.tasks += len(payloads)
+        # Injected initializer failures: the simulated pool "rebuilds"
+        # until they are spent (transient by construction).
+        while self._init_fails_left > 0:
+            self._init_fails_left -= 1
+            self.stats.init_failures += 1
+        envelope = bool(plan is not None and plan.has_payload_faults)
+        for i, payload in enumerate(payloads):
+            rec = records[i]
+            speculative = False
+            while True:
+                dispatch = rec.dispatches
+                rec.dispatches += 1
+                if rec.state is TaskState.PENDING or rec.state is TaskState.RETRYING:
+                    rec.to(TaskState.RUNNING)
+                d = directives_for(plan, i, dispatch)
+                try:
+                    if d.kill:
+                        self.stats.pool_rebuilds += 1
+                        raise WorkerCrashError(
+                            f"injected worker kill on task {i} "
+                            f"(simulated pool break)"
+                        )
+                    if d.crash:
+                        raise WorkerCrashError(
+                            f"injected worker crash on task {i}"
+                        )
+                    if (
+                        d.hang
+                        and cfg.timeout is not None
+                        and d.hang_seconds > cfg.timeout
+                    ):
+                        # The stalled dispatch would outlive the budget:
+                        # the supervisor times it out (and, when
+                        # speculating, immediately races a copy).
+                        raise WorkerTimeoutError(
+                            f"task {i} exceeded the {cfg.timeout:.3f}s "
+                            f"budget (injected hang of {d.hang_seconds:.3f}s)"
+                        )
+                    result = task(payload)
+                    if envelope:
+                        result = unseal(
+                            seal(result, corrupt=d.corrupt, seed=i)
+                        )
+                    elif d.corrupt:
+                        raise PayloadCorruptError(
+                            f"injected payload corruption on task {i}"
+                        )
+                except WorkerError as exc:
+                    self._classify(exc)
+                    rec.errors.append(f"{type(exc).__name__}: {exc}")
+                    if isinstance(exc, WorkerTimeoutError) and cfg.speculate:
+                        # The copy races free of the retry budget; its
+                        # own faults fall through to normal retries.
+                        if not speculative:
+                            speculative = True
+                            continue
+                    rec.failures += 1
+                    if policy.allows(rec.failures):
+                        self.stats.retries += 1
+                        rec.to(TaskState.RETRYING)
+                        continue
+                    rec.to(TaskState.DEGRADED)
+                    self._degrade(rec, allow_degraded, exc)
+                    break
+                else:
+                    results[i] = result
+                    if speculative:
+                        rec.speculated = True
+                        self.stats.speculated += 1
+                        rec.to(TaskState.SPECULATED)
+                    else:
+                        rec.to(TaskState.DONE)
+                    break
+        return SupervisionOutcome(results, records, self.stats)
+
+    def _map_pool(self, task, payloads, allow_degraded: bool):
+        cfg = self.config
+        plan = cfg.plan
+        policy = cfg.policy()
+        n = len(payloads)
+        records = [TaskRecord(i) for i in range(n)]
+        results: list = [None] * n
+        self.stats.tasks += n
+        if n == 0:
+            return SupervisionOutcome(results, records, self.stats)
+        max_workers = max(1, min(self.workers, n))
+        pool = self._build_pool(n)
+
+        in_flight: dict = {}  # future -> (index, started, speculative)
+        flights: dict[int, int] = {}  # index -> live future count
+        abandoned: set = set()  # futures whose outcome no longer matters
+        ready: list[int] = list(range(n))
+        waiting: list[tuple[float, int]] = []  # (release time, index)
+        speculated_now: set[int] = set()
+        done_count = 0
+
+        def dispatch(index: int, speculative: bool = False):
+            rec = records[index]
+            d = directives_for(plan, index, rec.dispatches)
+            rec.dispatches += 1
+            if rec.state in (TaskState.PENDING, TaskState.RETRYING):
+                rec.to(TaskState.RUNNING)
+            fut = pool.submit(
+                _run_supervised_task,
+                (task, index, d, payloads[index], self._envelope, self.backend),
+            )
+            in_flight[fut] = (index, time.monotonic(), speculative)
+            flights[index] = flights.get(index, 0) + 1
+
+        def charge_failure(index: int, exc: BaseException):
+            nonlocal done_count
+            rec = records[index]
+            rec.failures += 1
+            if policy.allows(rec.failures):
+                self.stats.retries += 1
+                rec.to(TaskState.RETRYING)
+                waiting.append(
+                    (time.monotonic() + policy.delay(rec.failures), index)
+                )
+            else:
+                rec.to(TaskState.DEGRADED)
+                done_count += 1
+                self._degrade(rec, allow_degraded, exc)
+
+        def settle_failure(index: int, exc: BaseException):
+            """One future failed; the task only fails once its last
+            live flight does (a speculative sibling may still win)."""
+            rec = records[index]
+            self._classify(exc)
+            rec.errors.append(f"{type(exc).__name__}: {exc}")
+            flights[index] -= 1
+            if flights[index] > 0 or rec.state.terminal:
+                return
+            speculated_now.discard(index)
+            charge_failure(index, exc)
+
+        def rebuild_pool(exc: BaseException, extra: tuple[int, ...] = ()):
+            nonlocal pool
+            self.stats.pool_rebuilds += 1
+            affected = sorted(
+                {idx for idx, _, _ in in_flight.values()} | set(extra)
+            )
+            in_flight.clear()
+            flights.clear()
+            abandoned.clear()
+            speculated_now.clear()
+            try:
+                pool.shutdown(wait=False, cancel_futures=True)
+            except Exception:
+                pass
+            pool = self._build_pool(n)
+            crash = WorkerCrashError(
+                f"worker pool broke mid-flight ({exc}); rebuilt"
+            )
+            for idx in affected:
+                rec = records[idx]
+                if rec.state.terminal:
+                    continue
+                rec.errors.append(f"{type(crash).__name__}: {crash}")
+                self.stats.crashes += 1
+                charge_failure(idx, crash)
+
+        try:
+            while done_count < n:
+                now = time.monotonic()
+                # Promote tasks whose backoff elapsed.
+                still: list[tuple[float, int]] = []
+                for release, idx in waiting:
+                    if release <= now and not records[idx].state.terminal:
+                        ready.append(idx)
+                    elif not records[idx].state.terminal:
+                        still.append((release, idx))
+                waiting[:] = still
+                # Fill worker slots (primary dispatches respect the cap;
+                # speculative copies ride on top).
+                while ready and len(in_flight) < max_workers:
+                    idx = ready.pop(0)
+                    if records[idx].state.terminal:
+                        continue
+                    try:
+                        dispatch(idx)
+                    except _cf.BrokenExecutor as exc:
+                        rebuild_pool(exc)
+                        break
+
+                if not in_flight:
+                    if waiting:
+                        time.sleep(
+                            max(0.0, min(r for r, _ in waiting) - time.monotonic())
+                        )
+                        continue
+                    if ready:
+                        continue
+                    if done_count < n:  # pragma: no cover - loop guard
+                        raise WorkerCrashError(
+                            "supervisor stalled with tasks outstanding"
+                        )
+                    break
+
+                # Wait for the next completion, timeout deadline, or
+                # backoff release, whichever is first.
+                wait_timeout = None
+                if cfg.timeout is not None:
+                    next_deadline = min(
+                        started + cfg.timeout
+                        for (_i, started, _s) in in_flight.values()
+                    )
+                    wait_timeout = max(0.0, next_deadline - time.monotonic())
+                if waiting:
+                    release = min(r for r, _ in waiting) - time.monotonic()
+                    release = max(0.0, release)
+                    wait_timeout = (
+                        release
+                        if wait_timeout is None
+                        else min(wait_timeout, release)
+                    )
+                done, _ = _cf.wait(
+                    list(in_flight) + list(abandoned),
+                    timeout=wait_timeout,
+                    return_when=_cf.FIRST_COMPLETED,
+                )
+
+                broken: BaseException | None = None
+                broken_extra: tuple[int, ...] = ()
+                for fut in done:
+                    if fut in abandoned:
+                        abandoned.discard(fut)
+                        continue
+                    if fut not in in_flight:
+                        continue
+                    index, _started, speculative = in_flight.pop(fut)
+                    rec = records[index]
+                    if rec.state.terminal:
+                        flights[index] -= 1
+                        continue
+                    try:
+                        raw = fut.result()
+                        result = unseal(raw) if self._envelope else raw
+                    except _cf.BrokenExecutor as exc:
+                        # This future was already popped from in_flight;
+                        # make sure its task is still charged/retried.
+                        broken = exc
+                        broken_extra = (index,)
+                        break
+                    except WorkerError as exc:
+                        settle_failure(index, exc)
+                        continue
+                    except BaseException as exc:
+                        settle_failure(index, exc)
+                        continue
+                    # Success: first completed flight wins.
+                    results[index] = result
+                    flights[index] -= 1
+                    done_count += 1
+                    if speculative:
+                        rec.speculated = True
+                        self.stats.speculated += 1
+                        rec.to(TaskState.SPECULATED)
+                    else:
+                        rec.to(TaskState.DONE)
+                    speculated_now.discard(index)
+                    # Abandon the losing sibling, if racing.
+                    for f2, (i2, _t2, _s2) in list(in_flight.items()):
+                        if i2 == index:
+                            del in_flight[f2]
+                            flights[index] -= 1
+                            if not f2.cancel():
+                                abandoned.add(f2)
+                if broken is not None:
+                    rebuild_pool(broken, extra=broken_extra)
+                    continue
+
+                # Timeout scan: speculate or abandon+retry.
+                if cfg.timeout is not None:
+                    now = time.monotonic()
+                    for fut, (index, started, speculative) in list(
+                        in_flight.items()
+                    ):
+                        if now - started <= cfg.timeout:
+                            continue
+                        rec = records[index]
+                        if cfg.speculate:
+                            if speculative or index in speculated_now:
+                                continue  # already racing a copy
+                            self.stats.timeouts += 1
+                            rec.errors.append(
+                                f"WorkerTimeoutError: task {index} exceeded "
+                                f"the {cfg.timeout:.3f}s budget; speculating"
+                            )
+                            speculated_now.add(index)
+                            try:
+                                dispatch(index, speculative=True)
+                            except _cf.BrokenExecutor as exc:
+                                rebuild_pool(exc)
+                                break
+                        else:
+                            del in_flight[fut]
+                            if not fut.cancel():
+                                abandoned.add(fut)
+                            settle_failure(
+                                index,
+                                WorkerTimeoutError(
+                                    f"task {index} exceeded the "
+                                    f"{cfg.timeout:.3f}s budget"
+                                ),
+                            )
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+        return SupervisionOutcome(results, records, self.stats)
+
+    # -- shared accounting ------------------------------------------------
+
+    def _classify(self, exc: BaseException) -> None:
+        if isinstance(exc, WorkerTimeoutError):
+            self.stats.timeouts += 1
+        elif isinstance(exc, PayloadCorruptError):
+            self.stats.payload_corruptions += 1
+        else:
+            self.stats.crashes += 1
+
+    def _degrade(
+        self, rec: TaskRecord, allow_degraded: bool, exc: BaseException
+    ) -> None:
+        self.stats.degraded_tasks = tuple(
+            sorted(set(self.stats.degraded_tasks) | {rec.index})
+        )
+        if not allow_degraded:
+            if isinstance(exc, WorkerError):
+                raise exc
+            raise WorkerCrashError(
+                f"task {rec.index} failed after {rec.failures} attempts: {exc}"
+            ) from exc

@@ -1,0 +1,148 @@
+"""Transport-seam fault decisions and the CRC result envelope.
+
+The sample-stream injector (:mod:`repro.resilience.inject`) degrades
+*telemetry*; this module degrades the *transport* under it — the worker
+pool that ships shard tasks out and results back.  Decisions are pure
+functions of ``(plan.seed, task_index, dispatch)``, so a fault schedule
+replays exactly: the same plan against the same shard count crashes,
+hangs and corrupts the same dispatches every run, which is what lets
+the supervisor tests assert byte-identical recovery.
+
+Two pieces live here:
+
+* :func:`directives_for` — the per-dispatch fault decision, evaluated
+  in the *parent* and shipped to the worker inside the task payload
+  (workers stay deterministic; they never roll dice).
+* the result envelope — ``seal``/``unseal`` wrap a task result in
+  ``(tag, crc32, pickled-bytes)`` so in-flight corruption is *detected*
+  on the parent side rather than trusted.  The envelope costs a second
+  pickle pass, so the supervisor only turns it on when the plan can
+  actually corrupt payloads (:attr:`FaultPlan.has_payload_faults`);
+  the clean path ships raw results exactly as before.
+"""
+
+from __future__ import annotations
+
+import pickle
+import random
+import zlib
+from dataclasses import dataclass
+
+from ..errors import PayloadCorruptError
+
+#: First element of a sealed result tuple (versioned envelope tag).
+ENVELOPE_TAG = "cbp-env1"
+
+
+@dataclass(frozen=True)
+class TaskDirectives:
+    """What the transport does to one dispatch of one task."""
+
+    crash: bool = False
+    kill: bool = False
+    hang: bool = False
+    corrupt: bool = False
+    hang_seconds: float = 0.0
+
+    @property
+    def any(self) -> bool:
+        return self.crash or self.kill or self.hang or self.corrupt
+
+
+#: The no-fault directives (shared instance: the common case allocates
+#: nothing).
+CLEAN_DIRECTIVES = TaskDirectives()
+
+
+def _roll(plan, kind: str, task_index: int, dispatch: int, rate: float) -> bool:
+    if rate <= 0.0:
+        return False
+    rng = random.Random(f"{plan.seed}:transport:{kind}:{task_index}:{dispatch}")
+    return rng.random() < rate
+
+
+def directives_for(plan, task_index: int, dispatch: int) -> TaskDirectives:
+    """The deterministic fault decision for 0-based ``dispatch`` of
+    ``task_index``.  List-based faults fire on the first dispatch only
+    (a retry lands on a healthy worker); rate-based faults roll a
+    decorrelated die per dispatch; ``worker_dead_tasks`` crash every
+    dispatch — the only way a shard exhausts its retries."""
+    if plan is None or not plan.has_transport_faults:
+        return CLEAN_DIRECTIVES
+    first = dispatch == 0
+    crash = (
+        (first and task_index in plan.worker_crash_tasks)
+        or task_index in plan.worker_dead_tasks
+        or _roll(plan, "crash", task_index, dispatch, plan.worker_crash_rate)
+    )
+    kill = first and task_index in plan.worker_kill_tasks
+    hang = (first and task_index in plan.worker_hang_tasks) or _roll(
+        plan, "hang", task_index, dispatch, plan.worker_hang_rate
+    )
+    corrupt = (first and task_index in plan.payload_corrupt_tasks) or _roll(
+        plan, "corrupt", task_index, dispatch, plan.payload_corrupt_rate
+    )
+    if not (crash or kill or hang or corrupt):
+        return CLEAN_DIRECTIVES
+    return TaskDirectives(
+        crash=crash,
+        kill=kill,
+        hang=hang,
+        corrupt=corrupt,
+        hang_seconds=plan.hang_seconds if hang else 0.0,
+    )
+
+
+# -- result envelope ----------------------------------------------------------
+
+
+def seal(result, corrupt: bool = False, seed: int = 0) -> tuple:
+    """Wraps ``result`` as ``(ENVELOPE_TAG, crc32, payload-bytes)``.
+
+    With ``corrupt=True`` the payload is deterministically damaged
+    (seeded byte flip, or truncation for tiny payloads) *after* the CRC
+    is computed — exactly what a torn write looks like to the reader.
+    """
+    payload = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+    crc = zlib.crc32(payload)
+    if corrupt:
+        payload = _damage(payload, seed)
+    return (ENVELOPE_TAG, crc, payload)
+
+
+def unseal(sealed):
+    """Verifies and unpacks a sealed result; raises
+    :class:`~repro.errors.PayloadCorruptError` on CRC mismatch or
+    unpicklable bytes.  A result that is not an envelope at all is also
+    corruption (the tag is part of the contract)."""
+    if (
+        not isinstance(sealed, tuple)
+        or len(sealed) != 3
+        or sealed[0] != ENVELOPE_TAG
+    ):
+        raise PayloadCorruptError(
+            "task result is not a sealed envelope "
+            f"(got {type(sealed).__name__})"
+        )
+    _tag, crc, payload = sealed
+    if zlib.crc32(payload) != crc:
+        raise PayloadCorruptError(
+            f"task result payload failed CRC check "
+            f"({len(payload)} bytes, expected crc {crc:#010x})"
+        )
+    try:
+        return pickle.loads(payload)
+    except Exception as exc:
+        raise PayloadCorruptError(
+            f"task result payload would not unpickle: {exc}"
+        ) from exc
+
+
+def _damage(payload: bytes, seed: int) -> bytes:
+    """Deterministic payload damage: flip one seeded byte, or truncate
+    when there is almost nothing to flip."""
+    if len(payload) < 4:
+        return payload[: len(payload) // 2]
+    rng = random.Random(f"{seed}:payload-damage:{len(payload)}")
+    i = rng.randrange(len(payload))
+    return payload[:i] + bytes([payload[i] ^ 0xFF]) + payload[i + 1 :]

@@ -237,6 +237,37 @@ def profile_main(argv: list[str]) -> int:
         "mainly for testing). auto picks the best available",
     )
     ap.add_argument(
+        "--worker-timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help="with --workers N: per-shard-task wall-clock budget in "
+        "seconds; a task over budget is retried (or raced, with "
+        "--speculate)",
+    )
+    ap.add_argument(
+        "--worker-retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="with --workers N: attempts beyond the first before a "
+        "shard degrades into <unknown> with worker-failed provenance "
+        "(default: 2)",
+    )
+    ap.add_argument(
+        "--speculate",
+        action="store_true",
+        help="with --worker-timeout: race a timed-out task against a "
+        "fresh copy instead of abandoning it — first completed result "
+        "wins, the loser is cancelled",
+    )
+    ap.add_argument(
+        "--fail-on-degraded-shards",
+        action="store_true",
+        help="exit 4 when any shard exhausted its retries and was "
+        "folded into <unknown> (worker-health gate for CI)",
+    )
+    ap.add_argument(
         "--shard-artifacts",
         metavar="DIR",
         help="with --workers N: also write each worker's partial "
@@ -293,6 +324,17 @@ def profile_main(argv: list[str]) -> int:
         ap.error("--streaming is incompatible with --workers > 1")
     if args.shard_artifacts and args.workers <= 1:
         ap.error("--shard-artifacts needs --workers > 1")
+    if args.worker_retries < 0:
+        ap.error(f"--worker-retries must be >= 0 (got {args.worker_retries})")
+    if args.worker_timeout is not None and args.worker_timeout <= 0.0:
+        ap.error(f"--worker-timeout must be > 0 (got {args.worker_timeout})")
+    if args.worker_timeout is not None and args.workers <= 1:
+        ap.error("--worker-timeout needs --workers > 1")
+    if args.speculate and args.worker_timeout is None:
+        ap.error("--speculate needs --worker-timeout (it races the "
+                 "tasks that exceed it)")
+    if args.fail_on_degraded_shards and args.workers <= 1:
+        ap.error("--fail-on-degraded-shards needs --workers > 1")
     if not 0.0 < args.confidence < 1.0:
         ap.error(f"--confidence must be in (0, 1) exclusive (got {args.confidence})")
     if not 0.0 < args.ci_width < 1.0:
@@ -334,6 +376,9 @@ def profile_main(argv: list[str]) -> int:
         faults=args.inject_faults,
         workers=args.workers,
         parallel_backend=args.parallel_backend,
+        worker_timeout=args.worker_timeout,
+        worker_retries=args.worker_retries,
+        speculate=args.speculate,
     )
     adaptive = None
     if args.adaptive:
@@ -456,7 +501,15 @@ def profile_main(argv: list[str]) -> int:
             f"shards {par.shard_sizes}]",
             file=sys.stderr,
         )
-    return _quarantine_gate(result, args.fail_on_quarantine_rate)
+        if par.supervision is not None:
+            print(
+                f"[supervision: {par.supervision.summary()}]",
+                file=sys.stderr,
+            )
+    gate = _quarantine_gate(result, args.fail_on_quarantine_rate)
+    if gate:
+        return gate
+    return _degraded_shard_gate(result, args.fail_on_degraded_shards)
 
 
 def view_main(argv: list[str]) -> int:
@@ -631,6 +684,23 @@ def _quarantine_gate(result, limit: float | None) -> int:
             file=sys.stderr,
         )
         return 3
+    return 0
+
+
+def _degraded_shard_gate(result, enabled: bool) -> int:
+    """Exit 4 when shards were folded into ``<unknown>`` and the
+    worker-health gate is armed."""
+    if not enabled or result.parallel is None:
+        return 0
+    degraded = result.parallel.degraded_shards
+    if degraded:
+        ids = ", ".join(str(i) for i in degraded)
+        print(
+            f"shard(s) {ids} degraded after exhausting worker retries "
+            f"(--fail-on-degraded-shards)",
+            file=sys.stderr,
+        )
+        return 4
     return 0
 
 

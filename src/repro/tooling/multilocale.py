@@ -44,6 +44,7 @@ from ..errors import (
     LocaleTimeoutError,
     ReproError,
 )
+from ..resilience.retrying import backoff_attempts
 from .profiler import ProfileResult, Profiler
 
 
@@ -229,18 +230,18 @@ def _run_one_locale(
     retry_backoff: float,
     drop_stragglers: bool,
 ) -> tuple[LocaleOutcome, ProfileResult | None]:
-    """One locale with bounded retry + backoff; never raises."""
+    """One locale with bounded retry + backoff (the shared
+    :func:`~repro.resilience.retrying.backoff_attempts` schedule —
+    the same arithmetic the shard supervisor uses); never raises."""
     attempts = 0
     last_error: str | None = None
     last_status = "crashed"
     t_start = time.perf_counter()
-    while attempts <= max_retries:
-        if attempts:
-            time.sleep(retry_backoff * (2 ** (attempts - 1)))
-        attempts += 1
+    for attempt in backoff_attempts(max_retries, retry_backoff):
+        attempts = attempt + 1
         t0 = time.perf_counter()
         try:
-            if plan is not None and plan.should_crash(locale, attempts - 1):
+            if plan is not None and plan.should_crash(locale, attempt):
                 raise LocaleCrashError(
                     locale, f"injected crash on locale {locale}"
                 )

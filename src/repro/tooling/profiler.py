@@ -122,6 +122,9 @@ class Profiler:
         faults: "object | str | None" = None,
         workers: int = 1,
         parallel_backend: str = "auto",
+        worker_timeout: "float | None" = None,
+        worker_retries: int = 2,
+        speculate: bool = False,
     ) -> None:
         if isinstance(source, Module):
             self.module = source
@@ -151,8 +154,39 @@ class Profiler:
             from ..errors import ParallelError
 
             raise ParallelError(f"need at least one worker (got {workers})")
+        if worker_retries < 0:
+            from ..errors import ParallelError
+
+            raise ParallelError(
+                f"worker_retries must be >= 0 (got {worker_retries})"
+            )
         self.workers = workers
         self.parallel_backend = parallel_backend
+        self.worker_timeout = worker_timeout
+        self.worker_retries = worker_retries
+        self.speculate = speculate
+
+    def _supervision(self, inject: bool = True):
+        """The shard-supervision config for pool fan-outs (None on the
+        serial path — there is no pool to supervise).
+
+        ``inject=False`` keeps the retry/timeout/speculation machinery
+        but drops the injected transport schedule: the fault grammar's
+        task indices name *post-mortem shards*, so the analysis fan-out
+        (whose batches share those indices) is supervised against real
+        faults only — otherwise ``worker-dead=K`` would abort the run
+        in step 1 instead of degrading shard K gracefully in step 3.
+        """
+        if self.workers <= 1:
+            return None
+        from ..pipeline.supervisor import SupervisorConfig
+
+        return SupervisorConfig(
+            plan=self.faults if inject else None,
+            timeout=self.worker_timeout,
+            max_retries=self.worker_retries,
+            speculate=self.speculate,
+        )
 
     def _injector(self):
         if self.faults is None or getattr(self.faults, "is_clean", True):
@@ -211,6 +245,7 @@ class Profiler:
             options=self.blame_options,
             workers=self.workers,
             backend=self.parallel_backend,
+            supervision=self._supervision(inject=False),
         )
         injector = self._injector()
 
@@ -360,6 +395,7 @@ class Profiler:
             fault_stats=(
                 injector.stats.as_dict() if injector is not None else None
             ),
+            supervision=self._supervision(),
         )
         return ProfileResult(
             module=self.module,

@@ -9,6 +9,7 @@ what it was before resilience existed.
 
 from __future__ import annotations
 
+from ..blame.postmortem import REASON_WORKER_FAILED
 from ..blame.report import BlameReport
 
 
@@ -38,6 +39,14 @@ def degradation_lines(report: BlameReport) -> list[str]:
         out.append(
             f"! {stats.unknown_samples} unattributable samples in "
             f"<unknown> ({reasons})"
+        )
+    worker_lost = report.unknown_by_reason.get(REASON_WORKER_FAILED, 0)
+    if worker_lost:
+        # Dedicated line on top of the <unknown> roll-up: losing a pool
+        # worker is an operational event, not just telemetry decay.
+        out.append(
+            f"! {worker_lost} samples from shard(s) whose worker failed "
+            f"(retries exhausted; folded into <unknown>)"
         )
     if report.missing_locales:
         ids = ", ".join(str(i) for i in report.missing_locales)

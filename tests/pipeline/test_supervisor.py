@@ -1,0 +1,524 @@
+"""The supervised worker pool: state machine, recovery, degradation.
+
+Three layers of assurance, cheapest first:
+
+* **state machine** — a trivial pure task under a direct
+  :class:`ShardSupervisor`, asserting the exact transition tape every
+  fault class leaves behind (the inline backend runs the same machine
+  the pool backends do, deterministically and without sleeping);
+* **recovery equality** — the sharded post-mortem under injected
+  transport schedules equals the serial result exactly, clean and on a
+  degraded stream, including a hypothesis sweep over arbitrary seeded
+  schedules with a sufficient retry budget;
+* **graceful degradation** — a shard whose worker never comes back
+  folds into ``<unknown>`` with ``worker-failed`` provenance, keeps the
+  sample ledger balanced, surfaces in every view's footer, and trips
+  the ``--fail-on-degraded-shards`` exit gate.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.artifact import artifact_bytes, canonicalize_timings, snapshot_from_result
+from repro.blame.postmortem import REASON_WORKER_FAILED
+from repro.errors import (
+    ParallelError,
+    PayloadCorruptError,
+    WorkerCrashError,
+    WorkerError,
+    WorkerInitError,
+    WorkerTimeoutError,
+)
+from repro.pipeline import (
+    VIEWS,
+    ShardSupervisor,
+    SupervisorConfig,
+    TaskState,
+    attribute_stage,
+    parallel_postmortem,
+    postmortem_stage,
+    render_stage,
+)
+from repro.pipeline.parallel import postmortem_cost
+from repro.resilience.faults import FaultPlan
+from repro.resilience.transport import directives_for
+from repro.sampling import shard_stream_weighted
+from repro.tooling.cli import main as cli_main
+from repro.tooling.profiler import Profiler
+from repro.views.degradation import degradation_lines
+
+from .conftest import (
+    FAULT_SPEC,
+    NUM_THREADS,
+    THRESHOLD,
+    benchmark_setup,
+    collected,
+)
+
+
+def _double(payload):
+    return payload * 2
+
+
+def supervise(spec, payloads=(0, 1, 2, 3), allow_degraded=False, **knobs):
+    """A direct inline supervisor over ``_double`` — the unit harness."""
+    plan = FaultPlan.parse(spec) if spec else None
+    sup = ShardSupervisor(
+        "inline", 4, state=(),
+        config=SupervisorConfig(plan=plan, backoff=0.0, **knobs),
+    )
+    return sup.map(_double, list(payloads), allow_degraded=allow_degraded)
+
+
+class TestTypedErrors:
+    def test_worker_errors_are_parallel_errors(self):
+        for cls in (WorkerCrashError, WorkerTimeoutError,
+                    PayloadCorruptError, WorkerInitError):
+            assert issubclass(cls, WorkerError)
+            assert issubclass(cls, ParallelError)
+
+    def test_worker_errors_survive_pickling(self):
+        import pickle
+
+        exc = pickle.loads(pickle.dumps(WorkerCrashError("boom")))
+        assert isinstance(exc, WorkerCrashError) and "boom" in str(exc)
+
+    def test_init_error_transience_flag(self):
+        assert WorkerInitError("x", transient=True).transient
+        assert not WorkerInitError("x").transient
+
+    def test_unpicklable_state_raises_init_error(self):
+        with pytest.raises(WorkerInitError, match="pickle"):
+            ShardSupervisor("process", 2, state=(lambda: 1,))
+
+
+class TestStateMachine:
+    def test_clean_run_tape(self):
+        out = supervise(None)
+        assert out.results == [0, 2, 4, 6]
+        for rec in out.records:
+            assert rec.history == [
+                TaskState.PENDING, TaskState.RUNNING, TaskState.DONE,
+            ]
+            assert rec.dispatches == 1 and rec.failures == 0
+            assert rec.succeeded and rec.state.terminal
+        assert out.stats.tasks == 4 and not out.stats.any_faults
+        assert out.stats.summary() == "4 tasks, all clean"
+
+    def test_crash_retries_once_then_wins(self):
+        out = supervise("worker-crash=1")
+        assert out.results == [0, 2, 4, 6]
+        rec = out.records[1]
+        assert rec.history == [
+            TaskState.PENDING, TaskState.RUNNING, TaskState.RETRYING,
+            TaskState.RUNNING, TaskState.DONE,
+        ]
+        assert rec.failures == 1 and rec.dispatches == 2
+        assert any("WorkerCrashError" in e for e in rec.errors)
+        assert out.stats.retries == 1 and out.stats.crashes == 1
+        assert out.records[0].history[-1] is TaskState.DONE
+
+    def test_dead_task_degrades_after_budget(self):
+        out = supervise("worker-dead=0", allow_degraded=True, max_retries=2)
+        rec = out.records[0]
+        assert rec.state is TaskState.DEGRADED and rec.state.terminal
+        assert not rec.succeeded
+        assert rec.failures == 3  # max_retries + 1 attempts, all charged
+        assert rec.history.count(TaskState.RUNNING) == 3
+        assert rec.history[-1] is TaskState.DEGRADED
+        assert out.results[0] is None and out.results[1:] == [2, 4, 6]
+        assert out.degraded_indices == (0,)
+        assert out.stats.degraded_tasks == (0,)
+        assert out.stats.crashes == 3 and out.stats.retries == 2
+        assert "degraded [0]" in out.stats.summary()
+
+    def test_dead_task_reraises_when_degradation_not_allowed(self):
+        with pytest.raises(WorkerCrashError, match="task 0"):
+            supervise("worker-dead=0", allow_degraded=False)
+
+    def test_zero_retries_is_one_strike(self):
+        out = supervise("worker-crash=2", allow_degraded=True, max_retries=0)
+        assert out.records[2].state is TaskState.DEGRADED
+        assert out.records[2].failures == 1
+        assert out.stats.retries == 0
+
+    def test_hang_times_out_and_retries(self):
+        out = supervise(
+            "worker-hang=1,hang-seconds=60", timeout=0.05
+        )
+        rec = out.records[1]
+        assert rec.state is TaskState.DONE and rec.failures == 1
+        assert any("WorkerTimeoutError" in e for e in rec.errors)
+        assert out.stats.timeouts == 1 and out.results == [0, 2, 4, 6]
+
+    def test_hang_under_the_budget_is_not_a_fault(self):
+        # 0-second stall with a generous timeout: completes normally.
+        out = supervise("worker-hang=1,hang-seconds=0", timeout=5.0)
+        assert out.results == [0, 2, 4, 6]
+        assert out.stats.timeouts == 0 and not out.stats.any_faults
+
+    def test_speculation_copy_wins(self):
+        out = supervise(
+            "worker-hang=2,hang-seconds=60", timeout=0.05, speculate=True
+        )
+        rec = out.records[2]
+        assert rec.state is TaskState.SPECULATED
+        assert rec.speculated and rec.succeeded
+        assert rec.failures == 0  # the race is budget-free
+        assert rec.dispatches == 2
+        assert out.stats.speculated == 1 and out.stats.timeouts == 1
+        assert out.results == [0, 2, 4, 6]
+        assert "1 speculated" in out.stats.summary()
+
+    def test_payload_corruption_detected_and_retried(self):
+        out = supervise("payload-corrupt=3")
+        rec = out.records[3]
+        assert rec.state is TaskState.DONE and rec.failures == 1
+        assert any("PayloadCorruptError" in e for e in rec.errors)
+        assert out.stats.payload_corruptions == 1
+        assert out.results == [0, 2, 4, 6]
+
+    def test_kill_breaks_and_rebuilds_the_simulated_pool(self):
+        out = supervise("worker-kill=0")
+        assert out.stats.pool_rebuilds == 1 and out.stats.crashes == 1
+        assert out.records[0].state is TaskState.DONE
+        assert out.results == [0, 2, 4, 6]
+
+    def test_injected_init_failures_are_transient(self):
+        out = supervise("init-pickle-fail=2")
+        assert out.stats.init_failures == 2
+        assert out.results == [0, 2, 4, 6]
+
+    def test_fault_stats_keys_are_flat_counters(self):
+        out = supervise("worker-dead=1", allow_degraded=True, max_retries=1)
+        fs = out.stats.as_fault_stats()
+        assert fs["worker_tasks"] == 4
+        assert fs["worker_crashes"] == 2 and fs["worker_retries"] == 1
+        assert fs["degraded_shards"] == 1
+        assert all(isinstance(v, int) for v in fs.values())
+
+
+class TestPostmortemRecovery:
+    """Supervised sharded post-mortem == serial, under every schedule."""
+
+    # (spec, per-task timeout) — every schedule recovers within the
+    # retry budget computed by needed_retries() below.
+    SCHEDULES = [
+        ("worker-crash=1", None),
+        ("worker-crash=0;2,payload-corrupt=1", None),
+        ("worker-kill=2", None),
+        ("worker-hang=1,hang-seconds=60", 0.05),
+        ("init-pickle-fail=2", None),
+        ("worker-crash-rate=0.3,seed=5", None),
+        ("worker-crash-rate=0.2,worker-hang-rate=0.2,"
+         "payload-corrupt-rate=0.2,seed=9", 0.05),
+    ]
+
+    @staticmethod
+    def needed_retries(plan, n_tasks, cap=50):
+        """Longest leading streak of faulted dispatches any task sees —
+        the retry budget that guarantees eventual success."""
+        worst = 0
+        for i in range(n_tasks):
+            d = 0
+            while d < cap and directives_for(plan, i, d).any:
+                d += 1
+            assert d < cap, "schedule never recovers"
+            worst = max(worst, d)
+        return worst
+
+    @pytest.mark.parametrize("faults", [None, FAULT_SPEC],
+                             ids=["clean", "faulted"])
+    @pytest.mark.parametrize("spec,timeout", SCHEDULES)
+    def test_recovered_run_equals_serial(self, spec, timeout, faults):
+        module, static, samples, wall = collected("minimd", faults)
+        serial_pm = postmortem_stage(module, samples, options=static.options)
+        serial_attr = attribute_stage(static, serial_pm)
+        plan = FaultPlan.parse(spec)
+        cfg = SupervisorConfig(
+            plan=plan, timeout=timeout, backoff=0.0,
+            max_retries=max(2, self.needed_retries(plan, 4)),
+        )
+        par = parallel_postmortem(
+            module, static, samples, workers=4, backend="inline",
+            wall_seconds=wall, supervision=cfg,
+        )
+        assert par.postmortem == serial_pm
+        assert par.attribution == serial_attr
+        assert par.degraded_shards == ()
+        # A fully recovered run persists no supervision fault-stats:
+        # the artifact stays byte-identical to the serial one.
+        assert par.snapshot.fault_stats is None
+        assert par.supervision is not None and par.supervision.tasks == 4
+
+    def test_supervised_clean_path_matches_unsupervised(self):
+        module, static, samples, wall = collected("minimd")
+        unsup = parallel_postmortem(
+            module, static, samples, workers=3, backend="inline",
+            wall_seconds=wall,
+        )
+        sup = parallel_postmortem(
+            module, static, samples, workers=3, backend="inline",
+            wall_seconds=wall, supervision=SupervisorConfig(),
+        )
+        assert artifact_bytes(
+            canonicalize_timings(sup.snapshot)
+        ) == artifact_bytes(canonicalize_timings(unsup.snapshot))
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        workers=st.integers(2, 6),
+        faults=st.sampled_from([None, FAULT_SPEC]),
+        crash=st.sets(st.integers(0, 5), max_size=3),
+        kill=st.sets(st.integers(0, 5), max_size=2),
+        hang=st.sets(st.integers(0, 5), max_size=2),
+        corrupt=st.sets(st.integers(0, 5), max_size=2),
+        crash_rate=st.sampled_from([0.0, 0.2, 0.5]),
+        corrupt_rate=st.sampled_from([0.0, 0.25]),
+        seed=st.integers(0, 2**16),
+    )
+    def test_any_recoverable_schedule_is_exact(
+        self, workers, faults, crash, kill, hang, corrupt,
+        crash_rate, corrupt_rate, seed,
+    ):
+        """The tentpole property: ANY seeded transport schedule, given a
+        retry budget that covers its worst dispatch streak, yields the
+        serial result exactly — clean stream and degraded stream."""
+        plan = FaultPlan(
+            seed=seed,
+            worker_crash_tasks=tuple(sorted(crash)),
+            worker_kill_tasks=tuple(sorted(kill)),
+            worker_hang_tasks=tuple(sorted(hang)),
+            payload_corrupt_tasks=tuple(sorted(corrupt)),
+            worker_crash_rate=crash_rate,
+            payload_corrupt_rate=corrupt_rate,
+            hang_seconds=60.0,
+        )
+        streaks = []
+        for i in range(workers):
+            d = 0
+            while d < 40 and directives_for(plan, i, d).any:
+                d += 1
+            streaks.append(d)
+        assume(max(streaks) < 40)
+        module, static, samples, wall = collected("minimd", faults)
+        serial_pm = postmortem_stage(module, samples, options=static.options)
+        par = parallel_postmortem(
+            module, static, samples, workers=workers, backend="inline",
+            wall_seconds=wall,
+            supervision=SupervisorConfig(
+                plan=plan, timeout=0.05, backoff=0.0,
+                max_retries=max(streaks),
+            ),
+        )
+        assert par.postmortem == serial_pm
+        assert par.attribution == attribute_stage(static, serial_pm)
+        assert par.degraded_shards == ()
+
+
+class TestProcessBackendRecovery:
+    """Real subprocess transport: SIGKILL, pool rebuild, speculation."""
+
+    def test_sigkill_rebuilds_the_pool_and_recovers(self):
+        module, static, samples, wall = collected("minimd", FAULT_SPEC)
+        serial_pm = postmortem_stage(module, samples, options=static.options)
+        par = parallel_postmortem(
+            module, static, samples, workers=2, backend="process",
+            wall_seconds=wall,
+            supervision=SupervisorConfig(
+                plan=FaultPlan.parse("worker-kill=0"), backoff=0.0,
+            ),
+        )
+        assert par.postmortem == serial_pm
+        assert par.supervision.pool_rebuilds >= 1
+        assert par.supervision.crashes >= 1
+        assert par.degraded_shards == ()
+
+    def test_speculation_races_a_real_straggler(self):
+        module, static, samples, wall = collected("minimd")
+        serial_pm = postmortem_stage(module, samples, options=static.options)
+        par = parallel_postmortem(
+            module, static, samples, workers=2, backend="process",
+            wall_seconds=wall,
+            supervision=SupervisorConfig(
+                plan=FaultPlan.parse("worker-hang=0,hang-seconds=20"),
+                timeout=0.5, speculate=True, backoff=0.0,
+            ),
+        )
+        assert par.postmortem == serial_pm
+        assert par.supervision.timeouts >= 1
+        # Either flight may win the race; the task never degrades.
+        assert par.degraded_shards == ()
+
+
+class TestGracefulDegradation:
+    """A worker that never comes back: honest ledger, visible footer."""
+
+    @pytest.fixture(scope="class")
+    def degraded(self):
+        module, static, samples, wall = collected("minimd")
+        par = parallel_postmortem(
+            module, static, samples, workers=4, backend="inline",
+            wall_seconds=wall,
+            supervision=SupervisorConfig(
+                plan=FaultPlan.parse("worker-dead=1"),
+                max_retries=1, backoff=0.0,
+            ),
+        )
+        shards = shard_stream_weighted(samples, 4, postmortem_cost)
+        return par, shards, samples, module, static
+
+    def test_shard_folds_into_unknown_with_provenance(self, degraded):
+        par, shards, samples, _, _ = degraded
+        assert par.degraded_shards == (1,)
+        busy = sum(1 for s in shards[1] if not s.is_idle)
+        idle = len(shards[1]) - busy
+        report = par.snapshot.report
+        assert report.unknown_by_reason[REASON_WORKER_FAILED] == busy
+        assert busy > 0
+        # Idle samples need no worker: they are classified parent-side.
+        assert par.postmortem.n_runtime >= idle
+
+    def test_sample_ledger_is_conserved(self, degraded):
+        par, _, samples, module, static = degraded
+        serial_pm = postmortem_stage(module, samples, options=static.options)
+        assert par.postmortem.n_raw == serial_pm.n_raw == len(samples)
+
+    def test_unknown_bucket_carries_the_blame(self, degraded):
+        par, _, _, _, _ = degraded
+        report = par.snapshot.report
+        rows = {r.name: r for r in report.rows}
+        assert "<unknown>" in rows
+        # The bucket holds at least the failed shard's busy samples
+        # (idle ones are runtime, not blame).
+        assert (
+            rows["<unknown>"].samples
+            >= report.unknown_by_reason[REASON_WORKER_FAILED]
+        )
+        assert rows["<unknown>"].blame > 0.0
+
+    def test_every_view_shows_the_worker_failed_footer(self, degraded):
+        par, _, _, _, _ = degraded
+        lines = degradation_lines(par.snapshot.report)
+        assert any("worker failed" in ln for ln in lines)
+        # Every view that renders degradation footers shows the event
+        # (the code-centric view never prints footers, by design).
+        for view in ("data", "hybrid", "html"):
+            assert "worker failed" in render_stage(par.snapshot, view)
+
+    def test_fault_stats_persist_in_the_artifact(self, degraded):
+        par, shards, _, _, _ = degraded
+        fs = par.snapshot.fault_stats
+        assert fs["degraded_shards"] == 1
+        assert fs["degraded_shard_samples"] == len(shards[1])
+        assert fs["worker_crashes"] == 2  # max_retries=1 -> two attempts
+        assert par.supervision.degraded_tasks == (1,)
+
+    def test_degraded_artifact_roundtrips(self, degraded, tmp_path):
+        from repro.artifact import read_artifact, write_artifact
+
+        par, _, _, _, _ = degraded
+        path = tmp_path / "degraded.cbp"
+        write_artifact(str(path), par.snapshot)
+        back = read_artifact(str(path))
+        assert back.fault_stats["degraded_shards"] == 1
+        assert (
+            back.report.unknown_by_reason[REASON_WORKER_FAILED]
+            == par.snapshot.report.unknown_by_reason[REASON_WORKER_FAILED]
+        )
+        for view in ("data", "code", "hybrid"):
+            assert render_stage(back, view) == render_stage(
+                par.snapshot, view
+            )
+
+
+class TestProfilerByteIdentity:
+    """Cross-run: supervised parallel Profiler vs serial, byte for byte."""
+
+    @pytest.mark.parametrize("spec", [
+        "worker-crash=1,payload-corrupt=2,seed=42",
+        FAULT_SPEC + ",worker-crash=0,worker-kill=1",
+    ], ids=["transport-only", "stream-and-transport"])
+    def test_artifact_and_views_identical(self, spec):
+        source, filename, config = benchmark_setup("minimd")
+        serial = Profiler(
+            source, filename=filename, config=config,
+            num_threads=NUM_THREADS, threshold=THRESHOLD, faults=spec,
+        ).profile()
+        par = Profiler(
+            source, filename=filename, config=config,
+            num_threads=NUM_THREADS, threshold=THRESHOLD, faults=spec,
+            workers=3, parallel_backend="inline", worker_retries=2,
+        ).profile()
+        s_snap = snapshot_from_result(serial, canonical_timings=True)
+        p_snap = canonicalize_timings(par.parallel.snapshot)
+        assert artifact_bytes(p_snap) == artifact_bytes(s_snap)
+        for view in VIEWS:
+            assert render_stage(p_snap, view) == render_stage(s_snap, view)
+
+    def test_worker_retries_validated(self):
+        source, filename, config = benchmark_setup("minimd")
+        with pytest.raises(ParallelError, match="worker_retries"):
+            Profiler(source, filename=filename, config=config,
+                     workers=2, worker_retries=-1)
+
+
+class TestCLI:
+    def _run(self, tmp_path, *extra):
+        source, _, config = benchmark_setup("minimd")
+        src = tmp_path / "minimd.chpl"
+        src.write_text(source)
+        return cli_main(
+            [str(src), "--threads", str(NUM_THREADS),
+             "--threshold", str(THRESHOLD),
+             "--config"] + [f"{k}={v}" for k, v in config.items()]
+            + ["--view", "data", "-o", str(tmp_path / "run.cbp")]
+            + list(extra)
+        )
+
+    def test_degraded_shard_gate_exits_4(self, tmp_path, capsys):
+        rc = self._run(
+            tmp_path,
+            "--workers", "4", "--parallel-backend", "inline",
+            "--inject-faults", "worker-dead=1",
+            "--fail-on-degraded-shards",
+        )
+        captured = capsys.readouterr()
+        assert rc == 4
+        assert "degraded after exhausting worker retries" in captured.err
+        assert "[supervision:" in captured.err
+        assert "worker failed" in captured.out
+
+    def test_degraded_run_without_gate_exits_0(self, tmp_path, capsys):
+        rc = self._run(
+            tmp_path,
+            "--workers", "4", "--parallel-backend", "inline",
+            "--inject-faults", "worker-dead=1",
+        )
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "shard(s) degraded" in captured.err
+
+    def test_recovered_run_exits_0_under_the_gate(self, tmp_path, capsys):
+        rc = self._run(
+            tmp_path,
+            "--workers", "4", "--parallel-backend", "inline",
+            "--inject-faults", "worker-crash=1",
+            "--fail-on-degraded-shards",
+        )
+        capsys.readouterr()
+        assert rc == 0
+
+    @pytest.mark.parametrize("extra", [
+        ("--worker-retries", "-1"),
+        ("--worker-timeout", "0"),
+        ("--worker-timeout", "5"),                      # needs workers > 1
+        ("--workers", "2", "--parallel-backend", "inline", "--speculate"),
+        ("--fail-on-degraded-shards",),                 # needs workers > 1
+    ])
+    def test_knob_validation_rejected(self, tmp_path, capsys, extra):
+        with pytest.raises(SystemExit):
+            self._run(tmp_path, *extra)

@@ -1,0 +1,76 @@
+"""The shared retry/backoff schedule (:mod:`repro.resilience.retrying`).
+
+Two call sites depend on this arithmetic staying put: the multi-locale
+harness retry loop and the shard supervisor's non-blocking event loop.
+These tests pin the contract both read from.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.resilience.retrying import RetryPolicy, backoff_attempts
+
+
+class TestRetryPolicy:
+    def test_budget_is_retries_plus_one(self):
+        assert RetryPolicy(max_retries=2).max_attempts == 3
+        assert RetryPolicy(max_retries=0).max_attempts == 1
+
+    def test_delay_schedule_doubles(self):
+        p = RetryPolicy(max_retries=4, backoff=0.01)
+        assert [p.delay(k) for k in range(5)] == [
+            0.0, 0.01, 0.02, 0.04, 0.08,
+        ]
+
+    def test_attempt_zero_runs_immediately(self):
+        assert RetryPolicy(backoff=5.0).delay(0) == 0.0
+
+    def test_allows_boundary(self):
+        p = RetryPolicy(max_retries=2)
+        assert p.allows(0) and p.allows(1) and p.allows(2)
+        assert not p.allows(3)
+
+    def test_zero_retries_means_one_shot(self):
+        p = RetryPolicy(max_retries=0)
+        assert p.allows(0) and not p.allows(1)
+
+    def test_negative_retries_refused(self):
+        with pytest.raises(ValueError, match="max_retries"):
+            RetryPolicy(max_retries=-1)
+
+    def test_negative_backoff_refused(self):
+        with pytest.raises(ValueError, match="backoff"):
+            RetryPolicy(backoff=-0.1)
+
+    def test_zero_backoff_is_legal(self):
+        assert RetryPolicy(backoff=0.0).delay(3) == 0.0
+
+
+class TestBackoffAttempts:
+    def test_yields_every_attempt_and_sleeps_between(self):
+        slept: list[float] = []
+        attempts = list(
+            backoff_attempts(2, 0.01, sleep=slept.append)
+        )
+        assert attempts == [0, 1, 2]
+        assert slept == [0.01, 0.02]
+
+    def test_zero_retries_never_sleeps(self):
+        slept: list[float] = []
+        assert list(backoff_attempts(0, 1.0, sleep=slept.append)) == [0]
+        assert slept == []
+
+    def test_early_break_skips_remaining_sleeps(self):
+        slept: list[float] = []
+        for attempt in backoff_attempts(5, 1.0, sleep=slept.append):
+            if attempt == 1:
+                break
+        assert slept == [1.0]
+
+    def test_matches_policy_delay(self):
+        slept: list[float] = []
+        policy = RetryPolicy(max_retries=3, backoff=0.25)
+        for attempt in backoff_attempts(3, 0.25, sleep=slept.append):
+            pass
+        assert slept == [policy.delay(k) for k in range(1, 4)]

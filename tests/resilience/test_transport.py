@@ -1,0 +1,174 @@
+"""Transport fault decisions and the CRC result envelope.
+
+Everything here must be a pure function of ``(seed, task, dispatch)`` —
+the supervisor's byte-identity contract rests on fault schedules
+replaying exactly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PayloadCorruptError, SampleFormatError
+from repro.resilience.faults import FaultPlan
+from repro.resilience.transport import (
+    CLEAN_DIRECTIVES,
+    ENVELOPE_TAG,
+    directives_for,
+    seal,
+    unseal,
+)
+
+
+class TestGrammar:
+    def test_full_transport_spec_parses(self):
+        plan = FaultPlan.parse(
+            "worker-crash=2;5,worker-kill=0,worker-hang=3,"
+            "worker-dead=1,payload-corrupt=4,"
+            "worker-crash-rate=0.25,worker-hang-rate=0.1,"
+            "payload-corrupt-rate=0.05,"
+            "hang-seconds=0.2,init-pickle-fail=1,seed=7"
+        )
+        assert plan.worker_crash_tasks == (2, 5)
+        assert plan.worker_kill_tasks == (0,)
+        assert plan.worker_hang_tasks == (3,)
+        assert plan.worker_dead_tasks == (1,)
+        assert plan.payload_corrupt_tasks == (4,)
+        assert plan.worker_crash_rate == 0.25
+        assert plan.worker_hang_rate == 0.1
+        assert plan.payload_corrupt_rate == 0.05
+        assert plan.hang_seconds == 0.2
+        assert plan.init_pickle_failures == 1
+        assert plan.seed == 7
+
+    def test_transport_and_stream_faults_coexist(self):
+        plan = FaultPlan.parse(
+            "drop=0.05,truncate=0.1:3,worker-crash=1,seed=42"
+        )
+        assert plan.drop_rate == 0.05
+        assert plan.truncate_depth == 3
+        assert plan.worker_crash_tasks == (1,)
+
+    def test_has_transport_faults(self):
+        assert not FaultPlan.parse("drop=0.1").has_transport_faults
+        for spec in (
+            "worker-crash=0", "worker-kill=0", "worker-hang=0",
+            "worker-dead=0", "payload-corrupt=0",
+            "worker-crash-rate=0.1", "worker-hang-rate=0.1",
+            "payload-corrupt-rate=0.1", "init-pickle-fail=2",
+        ):
+            assert FaultPlan.parse(spec).has_transport_faults, spec
+
+    def test_has_payload_faults_is_the_envelope_switch(self):
+        assert FaultPlan.parse("payload-corrupt=1").has_payload_faults
+        assert FaultPlan.parse("payload-corrupt-rate=0.5").has_payload_faults
+        assert not FaultPlan.parse("worker-crash=1").has_payload_faults
+
+    def test_rate_out_of_range_refused(self):
+        with pytest.raises(SampleFormatError, match="worker_crash_rate"):
+            FaultPlan.parse("worker-crash-rate=1.5")
+
+    def test_negative_hang_seconds_refused(self):
+        with pytest.raises(SampleFormatError, match="hang_seconds"):
+            FaultPlan(hang_seconds=-1.0)
+
+    def test_negative_init_failures_refused(self):
+        with pytest.raises(SampleFormatError, match="init_pickle_failures"):
+            FaultPlan(init_pickle_failures=-1)
+
+
+class TestDirectives:
+    def test_no_plan_is_the_shared_clean_instance(self):
+        assert directives_for(None, 0, 0) is CLEAN_DIRECTIVES
+        plan = FaultPlan.parse("drop=0.1")  # stream-only plan
+        assert directives_for(plan, 0, 0) is CLEAN_DIRECTIVES
+
+    def test_list_faults_fire_on_first_dispatch_only(self):
+        plan = FaultPlan.parse(
+            "worker-crash=1,worker-kill=2,worker-hang=3,payload-corrupt=0"
+        )
+        assert directives_for(plan, 1, 0).crash
+        assert not directives_for(plan, 1, 1).any
+        assert directives_for(plan, 2, 0).kill
+        assert not directives_for(plan, 2, 1).any
+        assert directives_for(plan, 3, 0).hang
+        assert not directives_for(plan, 3, 1).any
+        assert directives_for(plan, 0, 0).corrupt
+        assert not directives_for(plan, 0, 1).any
+
+    def test_dead_tasks_crash_every_dispatch(self):
+        plan = FaultPlan.parse("worker-dead=2")
+        for dispatch in range(10):
+            assert directives_for(plan, 2, dispatch).crash
+        assert not directives_for(plan, 1, 0).any
+
+    def test_hang_carries_the_plan_stall(self):
+        plan = FaultPlan.parse("worker-hang=0,hang-seconds=0.5")
+        d = directives_for(plan, 0, 0)
+        assert d.hang and d.hang_seconds == 0.5
+        assert directives_for(plan, 1, 0).hang_seconds == 0.0
+
+    def test_untargeted_tasks_get_the_clean_instance(self):
+        plan = FaultPlan.parse("worker-crash=0")
+        assert directives_for(plan, 7, 0) is CLEAN_DIRECTIVES
+
+    def test_decisions_replay_exactly(self):
+        plan = FaultPlan.parse(
+            "worker-crash-rate=0.4,worker-hang-rate=0.3,"
+            "payload-corrupt-rate=0.3,seed=11"
+        )
+        table = [
+            directives_for(plan, t, d)
+            for t in range(8) for d in range(4)
+        ]
+        assert table == [
+            directives_for(plan, t, d)
+            for t in range(8) for d in range(4)
+        ]
+        assert any(d.any for d in table)  # the rates actually fire
+
+    def test_seed_decorrelates_the_rolls(self):
+        a = FaultPlan.parse("worker-crash-rate=0.5,seed=1")
+        b = FaultPlan.parse("worker-crash-rate=0.5,seed=2")
+        rolls_a = [directives_for(a, t, 0).crash for t in range(64)]
+        rolls_b = [directives_for(b, t, 0).crash for t in range(64)]
+        assert rolls_a != rolls_b
+
+
+class TestEnvelope:
+    def test_roundtrip(self):
+        value = {"shard": 3, "rows": [(1, 2.5), (2, 0.0)]}
+        sealed = seal(value)
+        assert sealed[0] == ENVELOPE_TAG
+        assert unseal(sealed) == value
+
+    def test_corruption_is_detected(self):
+        with pytest.raises(PayloadCorruptError, match="CRC"):
+            unseal(seal([1, 2, 3], corrupt=True, seed=0))
+
+    def test_corruption_is_deterministic(self):
+        assert seal("payload", corrupt=True, seed=5) == seal(
+            "payload", corrupt=True, seed=5
+        )
+        assert seal("payload", corrupt=True, seed=5) != seal(
+            "payload", corrupt=True, seed=6
+        )
+
+    def test_non_envelope_result_is_corruption(self):
+        with pytest.raises(PayloadCorruptError, match="not a sealed"):
+            unseal("raw result")
+        with pytest.raises(PayloadCorruptError, match="not a sealed"):
+            unseal(("wrong-tag", 0, b""))
+
+    def test_tampered_bytes_fail_crc(self):
+        tag, crc, payload = seal(42)
+        broken = payload[:-1] + bytes([payload[-1] ^ 0xFF])
+        with pytest.raises(PayloadCorruptError, match="CRC"):
+            unseal((tag, crc, broken))
+
+    def test_unpicklable_payload_reported_as_corrupt(self):
+        import zlib
+
+        junk = b"\x80\x05not a pickle"
+        with pytest.raises(PayloadCorruptError, match="unpickle"):
+            unseal((ENVELOPE_TAG, zlib.crc32(junk), junk))
