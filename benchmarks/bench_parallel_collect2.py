@@ -1,0 +1,203 @@
+"""P2 — Sliced parallel collection scaling (the --collect-workers path).
+
+Measures, per paper workload:
+
+* ``serial_seconds``   — one single-monitor collection pass
+  (:func:`repro.pipeline.stages.collect_stage`, the identity witness);
+* per worker count N   — the virtual-clock-sliced collection
+  (:func:`repro.pipeline.parallel.parallel_collect`, inline backend,
+  **warm census cache**), recording each slice's worker-measured time,
+  the parent's reassembly time, and the **modeled critical-path
+  speedup** ``serial / (max(slice_seconds) + merge_seconds)`` — what
+  the wall clock would show with one idle core per slice worker;
+* ``census_seconds``   — the cold boundary census, reported separately:
+  it is the one-time price of the first profile of a module, amortized
+  across every later sliced run by the plan cache (the
+  run-once/analyze-many pattern the artifact pipeline already exploits).
+
+The modeled number is reported *as* modeled, never passed off as wall
+time, for the same reason as ``bench_parallel_collect.py``: CI hosts
+may have fewer cores than slices, where real pool wall time measures
+contention, not the algorithm.  The inline backend runs the identical
+slice tasks without transport, so slice timings are the honest
+per-worker costs.
+
+Every measured configuration also asserts byte-identity of the
+reassembled stream with the serial monitor's — a scaling number for a
+wrong answer would be worthless.
+
+Results land in ``BENCH_collect.json`` at the repository root.  Run
+directly (``python benchmarks/bench_parallel_collect2.py``) or via
+pytest; the pytest smoke asserts identity always and gates on a >= 2x
+modeled speedup at 4 workers.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.bench.harness import host_info
+from repro.bench.programs import lulesh, minimd
+from repro.pipeline import collect_stage, compile_stage
+from repro.pipeline.parallel import parallel_collect
+from repro.runtime.checkpoint import plan_slices
+
+NUM_THREADS = 12
+THRESHOLD = 4999
+WORKER_COUNTS = (1, 2, 4, 8)
+ROUNDS = 3
+
+RESULT_PATH = os.path.join(
+    os.path.dirname(__file__), "..", "BENCH_collect.json"
+)
+
+WORKLOADS = {
+    "minimd": ("minimd.chpl", lambda: minimd.build_source(), minimd.config_for),
+    "lulesh": ("lulesh.chpl", lambda: lulesh.build_source(), lulesh.config_for),
+}
+
+
+def _timed(fn) -> tuple[float, object]:
+    t0 = time.perf_counter()
+    out = fn()
+    return time.perf_counter() - t0, out
+
+
+def _best_of(fn) -> tuple[float, object]:
+    best, keep = float("inf"), None
+    for _ in range(ROUNDS):
+        t, out = _timed(fn)
+        if t < best:
+            best, keep = t, out
+    return best, keep
+
+
+def measure_workload(name: str) -> dict:
+    filename, build, config_for = WORKLOADS[name]
+    module = compile_stage(build(), filename)
+    config = config_for()
+
+    def serial_pass():
+        return collect_stage(
+            module,
+            config=config,
+            num_threads=NUM_THREADS,
+            threshold=THRESHOLD,
+        )
+
+    serial_seconds, serial = _best_of(serial_pass)
+    serial_stream = serial.monitor.sealed_stream()
+
+    sweep = {}
+    census_by_workers = {}
+    for workers in WORKER_COUNTS:
+        # Cold census, measured once per worker count (cache bypassed),
+        # then the sweep below runs entirely on the warm cache.
+        cold = plan_slices(
+            module,
+            workers,
+            config=config,
+            num_threads=NUM_THREADS,
+            threshold=THRESHOLD,
+            use_cache=False,
+        )
+        census_by_workers[str(workers)] = round(cold.census_seconds, 5)
+        plan_slices(  # prime the cache for the measured runs
+            module,
+            workers,
+            config=config,
+            num_threads=NUM_THREADS,
+            threshold=THRESHOLD,
+        )
+        best = None
+        for _ in range(ROUNDS):
+            pc = parallel_collect(
+                module,
+                workers,
+                backend="inline",
+                config=config,
+                num_threads=NUM_THREADS,
+                threshold=THRESHOLD,
+            )
+            # A scaling number for a wrong answer would be worthless.
+            assert pc.sealed_stream == serial_stream, f"{name} w={workers}"
+            assert pc.census_cached, f"{name} w={workers}: cold census"
+            if best is None or (
+                pc.critical_path_seconds < best.critical_path_seconds
+            ):
+                best = pc
+        sweep[str(workers)] = {
+            "slice_counts": best.slice_counts,
+            "max_slice_seconds": round(max(best.slice_seconds), 5),
+            "merge_seconds": round(best.merge_seconds, 5),
+            "critical_path_seconds": round(best.critical_path_seconds, 5),
+            "inline_pool_wall_seconds": round(best.pool_seconds, 5),
+            "modeled_speedup": round(
+                serial_seconds / max(best.critical_path_seconds, 1e-9), 2
+            ),
+        }
+    return {
+        "n_samples": serial.monitor.n_accepted,
+        "serial_seconds": round(serial_seconds, 5),
+        "census_seconds": census_by_workers,
+        "workers": sweep,
+    }
+
+
+def run_collect_bench() -> dict:
+    results = {
+        "config": {
+            "num_threads": NUM_THREADS,
+            "threshold": THRESHOLD,
+            "backend": "inline",
+            "metric": (
+                "modeled critical-path speedup: serial collection /"
+                " (max worker-measured slice time + parent merge),"
+                " warm census cache; see module docstring"
+            ),
+        },
+        "host": host_info(),
+        "workloads": {name: measure_workload(name) for name in WORKLOADS},
+    }
+    with open(os.path.abspath(RESULT_PATH), "w") as f:
+        json.dump(results, f, indent=2)
+        f.write("\n")
+    return results
+
+
+def render(results: dict) -> str:
+    lines = [
+        "sliced collection scaling (modeled critical-path speedup, "
+        f"host cores: {results['host']['cpu_count']})"
+    ]
+    for name, r in results["workloads"].items():
+        lines.append(
+            f"  {name:7s} {r['n_samples']:6d} samples  "
+            f"serial {r['serial_seconds']:.3f}s"
+        )
+        for w, s in r["workers"].items():
+            lines.append(
+                f"    w={w}: critical path {s['critical_path_seconds']:.3f}s"
+                f" (max slice {s['max_slice_seconds']:.3f}s"
+                f" + merge {s['merge_seconds']:.3f}s,"
+                f" cold census {r['census_seconds'][w]:.3f}s)"
+                f"  -> {s['modeled_speedup']:.2f}x"
+            )
+    return "\n".join(lines)
+
+
+def test_collect_scaling():
+    results = run_collect_bench()
+    print("\n" + render(results))
+    for name, r in results["workloads"].items():
+        # The acceptance gate: >= 2x modeled collection speedup at 4
+        # workers (identity is asserted inside measure_workload on
+        # every measured configuration).
+        w4 = r["workers"]["4"]["modeled_speedup"]
+        assert w4 >= 2.0, f"{name}: {w4}x at 4 workers"
+
+
+if __name__ == "__main__":
+    print(render(run_collect_bench()))

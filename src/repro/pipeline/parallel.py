@@ -150,15 +150,21 @@ def resolve_backend(backend: str = "auto") -> str:
 _WORKER: dict = {}
 
 
-def _set_worker_state(module, static_info, options, global_aliases) -> None:
+def _set_worker_state(
+    module, static_info, options, global_aliases, collect_options=None
+) -> None:
     _WORKER["module"] = module
     _WORKER["static"] = static_info
     _WORKER["options"] = options
     _WORKER["aliases"] = global_aliases
+    _WORKER["collect"] = collect_options
     # Indexing the module's instructions is per-module work, not
     # per-shard work: build the resolver once per worker (alongside the
-    # unpickle) and let every shard's consumer share it.
-    _WORKER["resolver"] = StackResolver(module)
+    # unpickle) and let every shard's consumer share it.  Collection
+    # workers never walk samples post-mortem, so they skip the index.
+    _WORKER["resolver"] = (
+        None if collect_options is not None else StackResolver(module)
+    )
 
 
 def _init_worker(blob: bytes) -> None:
@@ -183,6 +189,67 @@ def _postmortem_shard(payload):
     state = consumer.shard_state()
     attribution = BlameAttributor(_WORKER["static"]).attribute(state.instances)
     return shard_index, state, attribution, time.perf_counter() - t0
+
+
+def _collect_slice(payload):
+    """Collection fan-out task: execute one simulated-time slice of the
+    run under a fresh interpreter + per-slice monitor.
+
+    ``payload`` is ``(slice_index, checkpoint blob | None, start, stop)``
+    — slice 0 starts fresh, later slices resume from the census
+    checkpoint captured at their start position; ``stop`` is the global
+    accepted-sample count to unwind at (None runs to completion).
+    Returns the sealed CRC-framed slice stream, the monitor's counters,
+    and the :class:`~repro.runtime.interpreter.RunResult` when this
+    slice finished the program (exactly the last slice, since every
+    other stop count was census-observed and is therefore reached).
+    """
+    from ..runtime.interpreter import Interpreter
+    from ..sampling.monitor import Monitor
+    from ..sampling.pmu import PMUConfig
+
+    slice_index, blob, start, stop = payload
+    opts = _WORKER["collect"]
+    t0 = time.perf_counter()
+    monitor = Monitor(
+        PMUConfig(threshold=opts["threshold"]), index_base=start
+    )
+    if blob is None:
+        interp = Interpreter(
+            _WORKER["module"],
+            config=opts["config"],
+            num_threads=opts["num_threads"],
+            cost_model=opts["cost_model"],
+            monitor=monitor,
+            sample_threshold=opts["threshold"],
+            skid=opts["skid"],
+            skid_compensation=opts["skid_compensation"],
+        )
+        run_result = interp.run_sliced(stop)
+    else:
+        interp = Interpreter.resume(
+            blob,
+            monitor=monitor,
+            sample_threshold=opts["threshold"],
+            cost_model=opts["cost_model"],
+            skid=opts["skid"],
+            skid_compensation=opts["skid_compensation"],
+        )
+        run_result = interp.continue_sliced(stop)
+    counters = {
+        "n_accepted": monitor.n_accepted,
+        "dataset_bytes": monitor.dataset_size_bytes(),
+        "stackwalk_cycles": monitor.overhead.stackwalk_cycles_total,
+        "overhead_samples": monitor.overhead.n_samples,
+        "quarantined": list(monitor.quarantined),
+    }
+    return (
+        slice_index,
+        monitor.sealed_stream(),
+        counters,
+        run_result,
+        time.perf_counter() - t0,
+    )
 
 
 def _analyze_shard(names: "list[str]"):
@@ -641,3 +708,189 @@ def parallel_analyze(
     )
     _cache.store_module_info(module, opts, fp, info)
     return info
+
+
+# -- sliced parallel collection ------------------------------------------------
+
+
+@dataclass
+class CollectedInterpreterState:
+    """Stand-in for ``ProfileResult.interpreter`` on sliced-collection
+    runs: the final slice's interpreter lives (and dies) in a pool
+    worker, so only the run-level facts downstream consumers actually
+    read — the thread count and the completed run's heap — survive the
+    transport."""
+
+    num_threads: int
+    heap: object
+
+
+@dataclass
+class ParallelCollection:
+    """Outcome of slicing one run's collection across pool workers.
+
+    ``monitor`` is a real :class:`~repro.sampling.monitor.Monitor`
+    reassembled in the parent — decoded concatenated stream, summed
+    counters — so every downstream consumer (post-mortem, artifact
+    snapshot, CLI summary, ``--save-samples``) sees exactly what the
+    single-monitor run's monitor would have held.  ``sealed_stream`` is
+    the byte-level identity witness: the concatenation of the per-slice
+    CRC-framed streams, equal to the serial monitor's
+    ``sealed_stream()`` byte for byte.
+    """
+
+    monitor: "object"
+    run_result: "object"
+    interpreter: CollectedInterpreterState
+    #: Per-slice sealed CRC-framed streams, in virtual-time order.
+    slice_streams: "list[bytes]" = field(default_factory=list)
+    sealed_stream: bytes = b""
+    slice_counts: "list[int]" = field(default_factory=list)
+    #: Worker-measured seconds per slice.
+    slice_seconds: "list[float]" = field(default_factory=list)
+    #: Host seconds of the boundary census (0.0 when the plan was cached
+    #: — the run-once/analyze-many warm path).
+    census_seconds: float = 0.0
+    census_cached: bool = False
+    #: Parent-side concat/decode/reassembly seconds.
+    merge_seconds: float = 0.0
+    pool_seconds: float = 0.0
+    backend: str = ""
+    workers: int = 0
+    #: Supervision accounting when the fan-out ran supervised.
+    supervision: "object | None" = None
+    #: Slice indices whose workers exhausted their retry budget and were
+    #: re-collected inline by the parent.  Unlike a lost post-mortem
+    #: shard, a lost collection slice cannot degrade into ``<unknown>``
+    #: — its samples were never generated — so the parent replays it
+    #: from the same checkpoint (pure, deterministic) and the stream
+    #: stays complete and identical.
+    recovered_slices: tuple[int, ...] = ()
+
+    @property
+    def critical_path_seconds(self) -> float:
+        """Modeled parallel collection time on the warm (cached-census)
+        path: the slowest slice plus the parent's reassembly — what the
+        wall clock would show with one idle core per slice worker.
+        Reported *as* modeled, never passed off as wall time."""
+        return max(self.slice_seconds, default=0.0) + self.merge_seconds
+
+
+def parallel_collect(
+    module,
+    workers: int,
+    backend: str = "auto",
+    config=None,
+    num_threads: int = 12,
+    threshold: int = 0,
+    cost_model=None,
+    skid: int = 0,
+    skid_compensation: bool = False,
+    supervision: "SupervisorConfig | None" = None,
+    use_census_cache: bool = True,
+) -> ParallelCollection:
+    """Collects one run's sample stream as ``workers`` simulated-time
+    slices, each executed by its own interpreter + monitor in a pool
+    worker, concatenated in virtual-time order.
+
+    Boundary planning (the census) runs in the parent
+    (:func:`repro.runtime.checkpoint.plan_slices`, cached per module ×
+    knobs); each slice ships as a checkpoint blob + stop count and runs
+    under the shard supervisor when ``supervision`` is given, inheriting
+    retry/timeout/speculation and the transport fault injector.  See
+    :class:`ParallelCollection` for the identity guarantees.
+    """
+    from ..runtime.checkpoint import plan_slices
+    from ..sampling.monitor import Monitor, unseal_samples
+    from ..sampling.pmu import PMUConfig
+
+    if workers < 1:
+        raise ParallelError(f"need at least one worker (got {workers})")
+    if threshold <= 0:
+        raise ParallelError(
+            f"parallel collection needs a positive threshold (got {threshold})"
+        )
+    backend = resolve_backend(backend)
+    plan = plan_slices(
+        module,
+        workers,
+        config=config,
+        num_threads=num_threads,
+        threshold=threshold,
+        cost_model=cost_model,
+        skid=skid,
+        skid_compensation=skid_compensation,
+        use_cache=use_census_cache,
+    )
+    blobs = [None] + [b for _, b in plan.checkpoints]
+    payloads = [
+        (k, blobs[k], start, stop)
+        for k, (start, stop) in enumerate(zip(plan.starts, plan.stops))
+    ]
+    collect_options = {
+        "config": config,
+        "num_threads": num_threads,
+        "threshold": threshold,
+        "cost_model": cost_model,
+        "skid": skid,
+        "skid_compensation": skid_compensation,
+    }
+    state = (module, None, None, None, collect_options)
+    results, sup_outcome, pool_seconds = _run_pool(
+        backend, workers, state, _collect_slice, payloads,
+        supervision=supervision, allow_degraded=True,
+    )
+    # Transport-exhausted slices are replayed inline from their
+    # checkpoints — collection has no <unknown> bucket to degrade into.
+    recovered = tuple(i for i, r in enumerate(results) if r is None)
+    if recovered:
+        _set_worker_state(*state)
+        for i in recovered:
+            results[i] = _collect_slice(payloads[i])
+
+    t0 = time.perf_counter()
+    ordered = sorted(results, key=lambda r: r[0])
+    slice_streams = [r[1] for r in ordered]
+    slice_counts = [r[2]["n_accepted"] for r in ordered]
+    slice_seconds = [r[4] for r in ordered]
+    sealed = b"".join(slice_streams)
+    run_results = [r[3] for r in ordered if r[3] is not None]
+    if len(run_results) != 1:
+        raise ParallelError(
+            f"expected exactly one slice to finish the program "
+            f"(got {len(run_results)} of {len(ordered)})"
+        )
+    run_result = run_results[0]
+
+    monitor = Monitor(PMUConfig(threshold=threshold))
+    monitor.samples = unseal_samples(sealed)
+    monitor.n_accepted = sum(slice_counts)
+    monitor._dataset_bytes = sum(r[2]["dataset_bytes"] for r in ordered)
+    monitor.overhead.stackwalk_cycles_total = sum(
+        r[2]["stackwalk_cycles"] for r in ordered
+    )
+    monitor.overhead.n_samples = sum(
+        r[2]["overhead_samples"] for r in ordered
+    )
+    monitor.quarantined = [q for r in ordered for q in r[2]["quarantined"]]
+    merge_seconds = time.perf_counter() - t0
+
+    return ParallelCollection(
+        monitor=monitor,
+        run_result=run_result,
+        interpreter=CollectedInterpreterState(
+            num_threads=num_threads, heap=run_result.heap
+        ),
+        slice_streams=slice_streams,
+        sealed_stream=sealed,
+        slice_counts=slice_counts,
+        slice_seconds=slice_seconds,
+        census_seconds=plan.census_seconds,
+        census_cached=plan.cache_hit,
+        merge_seconds=merge_seconds,
+        pool_seconds=pool_seconds,
+        backend=backend,
+        workers=workers,
+        supervision=sup_outcome.stats if sup_outcome is not None else None,
+        recovered_slices=recovered,
+    )

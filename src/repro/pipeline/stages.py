@@ -94,11 +94,20 @@ def analyze_stage(
 
 @dataclass
 class Collection:
-    """What one monitored execution produced."""
+    """What one monitored execution produced.
+
+    On a sliced-collection run (``collect_stage(..., workers > 1)``)
+    ``interpreter`` is the
+    :class:`~repro.pipeline.parallel.CollectedInterpreterState` shim
+    (thread count + final heap — the facts downstream consumers read)
+    and ``parallel`` carries the
+    :class:`~repro.pipeline.parallel.ParallelCollection` accounting.
+    """
 
     monitor: Monitor
-    interpreter: Interpreter
+    interpreter: "Interpreter | object"
     run_result: RunResult
+    parallel: "object | None" = None
 
 
 def collect_stage(
@@ -111,13 +120,50 @@ def collect_stage(
     skid_compensation: bool = False,
     sink=None,
     batch_size: int = 256,
+    workers: int = 1,
+    backend: str = "auto",
+    supervision: "object | None" = None,
 ) -> Collection:
     """Step 2 — execution under the monitor.
 
     Pass ``sink`` to stream sample batches out as they are collected
     (bounded memory) instead of retaining the whole run; the final
     partial batch is flushed before this returns.
+
+    ``workers > 1`` partitions the run's virtual clock into that many
+    simulated-time slices and collects each under its own interpreter +
+    monitor in a pool worker
+    (:func:`repro.pipeline.parallel.parallel_collect`); the reassembled
+    stream is byte-identical to this function's serial output.  Sliced
+    collection retains the stream, so it composes with neither ``sink``
+    nor (downstream) the adaptive driver.
     """
+    if workers > 1:
+        if sink is not None:
+            raise ValueError(
+                "sliced collection retains the stream; it does not "
+                "compose with a sink (streaming mode)"
+            )
+        from .parallel import parallel_collect
+
+        pc = parallel_collect(
+            module,
+            workers,
+            backend=backend,
+            config=config,
+            num_threads=num_threads,
+            threshold=threshold,
+            cost_model=cost_model,
+            skid=skid,
+            skid_compensation=skid_compensation,
+            supervision=supervision,
+        )
+        return Collection(
+            monitor=pc.monitor,
+            interpreter=pc.interpreter,
+            run_result=pc.run_result,
+            parallel=pc,
+        )
     monitor = Monitor(
         PMUConfig(threshold=threshold), sink=sink, batch_size=batch_size
     )

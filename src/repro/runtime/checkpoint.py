@@ -1,0 +1,433 @@
+"""Virtual-clock checkpointing: snapshot/resume one run's state so
+collection can be partitioned into simulated-time slices.
+
+The interpreter is fully deterministic (min-clock scheduling, FIFO run
+queue, exact PMU arithmetic), so a run is a pure function of its start
+state.  That makes collection sliceable: capture the complete run state
+at a *safe point* — the top of the event loop, where no instruction is
+mid-flight and every PMU counter is drained below the threshold — and a
+fresh interpreter resumed from that snapshot replays the remainder of
+the run instruction-for-instruction, sample-for-sample.
+
+Slice-boundary contract
+-----------------------
+
+Boundaries are **accepted-sample counts**, not clock values: cut *c*
+means "the first safe point at which the monitor's global stream
+position has reached *c* accepted samples".  Both sides of a cut
+evaluate the identical deterministic condition —
+
+* the census pass snapshots a checkpoint at the first safe point where
+  ``n_accepted >= c`` (recording the *actual* count there, which may
+  exceed the nominal ``c`` when one quantum drains several overflows);
+* the worker for the preceding slice arms
+  :class:`SliceStop` to unwind at the first safe point where its
+  monitor's ``index_base + n_accepted`` reaches that recorded count —
+
+so the worker's stop coincides exactly with the next checkpoint's
+capture point, and concatenating per-slice streams in boundary order
+reproduces the serial stream byte-for-byte.  Identity holds for *any*
+monotone boundary set; boundary placement only affects load balance.
+
+Checkpoint format
+-----------------
+
+One pickle blob of a :class:`RuntimeCheckpoint`: the module and every
+piece of mutable run state (heap, scheduler with its plain-int tag/id
+allocators, globals store, output, spawn records, pending entries and
+skidded samples) serialized *together*, so frames, blocks, tasks and
+values come back as one consistent object graph.  The interpreter
+object itself is never pickled — its dispatch tables and fast-engine
+plans are rebuilt by :func:`restore` — and the monitor is deliberately
+excluded: a slice worker brings its own monitor, seeded only with the
+checkpoint's stream position (``n_stream``).
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from dataclasses import dataclass
+
+from ..sampling.monitor import Monitor
+from ..sampling.pmu import PMUConfig, counters_drained
+from .values import RuntimeError_
+
+#: Bumped when RuntimeCheckpoint's layout changes incompatibly.
+CHECKPOINT_VERSION = 1
+
+
+class SliceStop(Exception):
+    """Unwinds the event loop at a slice boundary.
+
+    Deliberately *not* a ``RuntimeError_`` subclass (same reasoning as
+    ``StopSampling``): instruction handlers catch and re-wrap runtime
+    errors, and this must pass through them untouched so the run state
+    it leaves behind is exactly the safe-point state.
+    """
+
+
+class CheckpointError(RuntimeError_):
+    """An invalid snapshot or resume request."""
+
+
+@dataclass
+class RuntimeCheckpoint:
+    """Complete resumable state of one run at an event-loop safe point."""
+
+    version: int
+    #: Global stream position (accepted samples so far) at the capture
+    #: point — the resumed slice's monitor ``index_base``.
+    n_stream: int
+    module: object
+    config: dict
+    num_threads: int
+    heap: object
+    scheduler: object
+    output: list
+    last_write_complete: bool
+    globals_store: dict
+    instructions_executed: int
+    spawn_records: dict
+    main_task: object
+    pending_entry: list
+    pending_skid: dict
+
+
+def snapshot(interp) -> bytes:
+    """Pickles ``interp``'s resumable state (see module docstring).
+
+    Validates the safe-point invariant first: PMU counters must all be
+    drained below the threshold, which only holds between scheduler
+    iterations — the slice hook's capture point.
+    """
+    if interp._main_task is None:
+        raise CheckpointError("nothing to checkpoint: the run has not started")
+    if not counters_drained(
+        (t.pmu_counter for t in interp.scheduler.threads),
+        interp.sample_threshold,
+    ):
+        raise CheckpointError(
+            "checkpoint requested mid-quantum: a PMU counter is at or past "
+            "the threshold (snapshot only at the event-loop safe point)"
+        )
+    monitor = interp.monitor
+    n_stream = int(getattr(monitor, "stream_index", 0)) if monitor is not None else 0
+    ckpt = RuntimeCheckpoint(
+        version=CHECKPOINT_VERSION,
+        n_stream=n_stream,
+        module=interp.module,
+        config=interp.config,
+        num_threads=interp.num_threads,
+        heap=interp.heap,
+        scheduler=interp.scheduler,
+        output=interp.output,
+        last_write_complete=interp._last_write_complete,
+        globals_store=interp.globals_store,
+        instructions_executed=interp.instructions_executed,
+        spawn_records=interp._spawn_records,
+        main_task=interp._main_task,
+        pending_entry=interp._pending_entry,
+        pending_skid=interp._pending_skid,
+    )
+    # One dumps call over the whole graph: shared references (a task in
+    # the run queue that is also a spawn record's waiter, frames whose
+    # blocks belong to the module) stay shared on the other side.
+    return pickle.dumps(ckpt, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def restore(
+    blob: bytes,
+    monitor=None,
+    sample_threshold=None,
+    cost_model=None,
+    quantum: int = 64,
+    skid: int = 0,
+    skid_compensation: bool = False,
+    engine: str = "fast",
+):
+    """Builds a fresh interpreter positioned exactly at the blob's safe
+    point.  Continue it with ``continue_sliced(stop_at)``."""
+    from .interpreter import Interpreter
+
+    ckpt = pickle.loads(blob)
+    if not isinstance(ckpt, RuntimeCheckpoint):
+        raise CheckpointError(
+            f"not a runtime checkpoint (got {type(ckpt).__name__})"
+        )
+    if ckpt.version != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"checkpoint version {ckpt.version} != {CHECKPOINT_VERSION}"
+        )
+    interp = Interpreter(
+        ckpt.module,
+        config=ckpt.config,
+        num_threads=ckpt.num_threads,
+        cost_model=cost_model,
+        monitor=monitor,
+        sample_threshold=sample_threshold,
+        quantum=quantum,
+        skid=skid,
+        skid_compensation=skid_compensation,
+        engine=engine,
+    )
+    interp.heap = ckpt.heap
+    interp.scheduler = ckpt.scheduler
+    interp.output = ckpt.output
+    interp._last_write_complete = ckpt.last_write_complete
+    interp.globals_store = ckpt.globals_store
+    interp.instructions_executed = ckpt.instructions_executed
+    interp._spawn_records = ckpt.spawn_records
+    interp._main_task = ckpt.main_task
+    interp._pending_entry = ckpt.pending_entry
+    interp._pending_skid = ckpt.pending_skid
+    if interp._fast_engine is not None:
+        # The fast engine's operand getters bind globals_store at plan
+        # build time; rebuild it against the restored store before any
+        # plan exists.
+        from .engine import FastEngine
+
+        interp._fast_engine = FastEngine(interp)
+    if not counters_drained(
+        (t.pmu_counter for t in interp.scheduler.threads), sample_threshold
+    ):
+        raise CheckpointError(
+            "restored PMU counters violate the drained invariant — the "
+            "blob was captured under a different sampling threshold"
+        )
+    return interp
+
+
+# -- slice planning: census passes over the full run --------------------------
+
+
+@dataclass
+class SlicePlan:
+    """Boundary plan for slicing one run's collection."""
+
+    #: Accepted samples in the full serial run.
+    total_samples: int
+    #: ``(actual count at capture, checkpoint blob)`` per interior cut,
+    #: in stream order.  Slice *k* starts from checkpoint *k-1* (slice 0
+    #: starts fresh) and stops at checkpoint *k*'s count.
+    checkpoints: list
+    #: Host seconds the census passes cost (0.0 on a cache hit).
+    census_seconds: float = 0.0
+    cache_hit: bool = False
+
+    @property
+    def starts(self) -> list:
+        return [0] + [c for c, _ in self.checkpoints]
+
+    @property
+    def stops(self) -> list:
+        return [c for c, _ in self.checkpoints] + [None]
+
+
+def _census_interpreter(module, monitor, *, config, num_threads, threshold,
+                        cost_model, skid, skid_compensation):
+    from .interpreter import Interpreter
+
+    return Interpreter(
+        module,
+        config=config,
+        num_threads=num_threads,
+        cost_model=cost_model,
+        monitor=monitor,
+        sample_threshold=threshold,
+        skid=skid,
+        skid_compensation=skid_compensation,
+    )
+
+
+def _discard(_batch) -> None:
+    pass
+
+
+def census_stream(module, *, config=None, num_threads=12, threshold,
+                  cost_model=None, skid=0, skid_compensation=False):
+    """Census pass 1: the full run's accepted-sample count plus its
+    *work curve* — ``(accepted count, instructions executed)`` at the
+    first safe point after each accepted sample.
+
+    Runs under a real monitor (so stack-walk overhead charges clocks
+    exactly as a collecting run would) but sinks samples to a discard
+    batch, retaining nothing.  The curve is what lets the planner place
+    cuts by equal interpreter *work* rather than equal sample count:
+    sample density over host time is far from uniform (setup phases
+    emit samples across cheap, instruction-sparse quanta), and host
+    cost tracks instructions executed, not samples accepted.
+    """
+    monitor = Monitor(
+        PMUConfig(threshold=threshold), sink=_discard, batch_size=4096
+    )
+    interp = _census_interpreter(
+        module, monitor, config=config, num_threads=num_threads,
+        threshold=threshold, cost_model=cost_model, skid=skid,
+        skid_compensation=skid_compensation,
+    )
+    curve: list = []
+    last = {"n": 0}
+
+    def hook(it, _mon=monitor, _last=last, _curve=curve):
+        n = _mon.n_accepted
+        if n > _last["n"]:
+            _last["n"] = n
+            _curve.append((n, it.instructions_executed))
+
+    interp._slice_hook = hook
+    try:
+        interp.run()
+    finally:
+        interp._slice_hook = None
+    monitor.flush()
+    return monitor.n_accepted, curve
+
+
+def count_stream(module, **knobs) -> int:
+    """Accepted-sample count of the full run (census pass 1 without the
+    work curve — kept as the simple counting entry point)."""
+    total, _curve = census_stream(module, **knobs)
+    return total
+
+
+def work_balanced_cuts(curve, total_samples: int, num_slices: int) -> list:
+    """Interior cut counts placing slice boundaries at equal
+    *instructions-executed* quantiles of the census work curve.
+
+    Every returned cut is a count the census actually observed at a
+    safe point, so the capture pass snapshots at exactly these
+    positions.  Falls back to the count-balanced ``slice_points``
+    arithmetic when the curve carries no work signal.  Like any other
+    monotone cut set, placement affects balance only — never identity.
+    """
+    if num_slices <= 1 or total_samples <= 0:
+        return []
+    total_work = curve[-1][1] if curve else 0
+    if total_work <= 0:
+        from ..sampling.sharding import slice_points
+
+        return slice_points(total_samples, num_slices)
+    cuts = []
+    j = 0
+    for i in range(1, num_slices):
+        target = total_work * i  # compare work * k >= total_work * i
+        while j < len(curve) and curve[j][1] * num_slices < target:
+            j += 1
+        if j < len(curve):
+            cuts.append(curve[j][0])
+    return sorted({c for c in cuts if 0 < c < total_samples})
+
+
+def capture_checkpoints(module, cuts, *, config=None, num_threads=12,
+                        threshold, cost_model=None, skid=0,
+                        skid_compensation=False) -> list:
+    """Census pass 2: replay the run, snapshotting at each cut.
+
+    ``cuts`` are nominal accepted-sample counts, strictly increasing.
+    Returns ``(actual count, blob)`` pairs; cuts that coincide at one
+    safe point collapse into a single checkpoint (the slice between
+    them would be empty), and cuts past the end of the stream are
+    dropped — both keep the boundary contract intact.
+    """
+    cuts = sorted(set(int(c) for c in cuts))
+    if any(c <= 0 for c in cuts):
+        raise CheckpointError(f"slice cuts must be positive (got {cuts})")
+    if not cuts:
+        return []
+    monitor = Monitor(
+        PMUConfig(threshold=threshold), sink=_discard, batch_size=4096
+    )
+    interp = _census_interpreter(
+        module, monitor, config=config, num_threads=num_threads,
+        threshold=threshold, cost_model=cost_model, skid=skid,
+        skid_compensation=skid_compensation,
+    )
+    out: list = []
+    state = {"i": 0}
+
+    def hook(it, _mon=monitor, _cuts=cuts, _state=state, _out=out):
+        i = _state["i"]
+        if i < len(_cuts) and _mon.n_accepted >= _cuts[i]:
+            count = _mon.n_accepted
+            _out.append((count, snapshot(it)))
+            while i < len(_cuts) and _cuts[i] <= count:
+                i += 1
+            _state["i"] = i
+
+    interp._slice_hook = hook
+    try:
+        interp.run()
+    finally:
+        interp._slice_hook = None
+    monitor.flush()
+    return out
+
+
+#: (id(module), knobs…) → (module pin, SlicePlan).  Pinning the module
+#: keeps its id from being reused while the entry lives.  Bounded FIFO.
+_PLAN_CACHE: dict = {}
+_PLAN_CACHE_MAX = 16
+
+
+def _plan_key(module, num_slices, config, num_threads, threshold,
+              cost_model, skid, skid_compensation):
+    return (
+        id(module),
+        num_slices,
+        repr(sorted((config or {}).items())),
+        num_threads,
+        threshold,
+        repr(cost_model),
+        skid,
+        skid_compensation,
+    )
+
+
+def plan_slices(module, num_slices, *, config=None, num_threads=12,
+                threshold, cost_model=None, skid=0,
+                skid_compensation=False, use_cache=True) -> SlicePlan:
+    """Plans ``num_slices`` boundaries over one run's stream: census the
+    total accepted-sample count plus the work curve, place interior
+    cuts at equal instructions-executed quantiles (sample density over
+    host time is far from uniform, so count-balanced cuts would leave
+    one worker holding most of the wall clock), and capture a
+    checkpoint at each.
+
+    The plan is cached per (module identity, knobs): the pipeline is
+    run-once/analyze-many, so repeat profiles of the same program reuse
+    the census — that warm path is what the collection benchmark's
+    modeled speedup measures.
+    """
+    if num_slices < 1:
+        raise CheckpointError(f"need at least one slice (got {num_slices})")
+    key = _plan_key(module, num_slices, config, num_threads, threshold,
+                    cost_model, skid, skid_compensation)
+    if use_cache:
+        hit = _PLAN_CACHE.get(key)
+        if hit is not None:
+            plan = hit[1]
+            return SlicePlan(
+                total_samples=plan.total_samples,
+                checkpoints=plan.checkpoints,
+                census_seconds=0.0,
+                cache_hit=True,
+            )
+    t0 = time.perf_counter()
+    knobs = dict(config=config, num_threads=num_threads, threshold=threshold,
+                 cost_model=cost_model, skid=skid,
+                 skid_compensation=skid_compensation)
+    total, curve = census_stream(module, **knobs)
+    cuts = work_balanced_cuts(curve, total, num_slices)
+    checkpoints = capture_checkpoints(module, cuts, **knobs) if cuts else []
+    plan = SlicePlan(
+        total_samples=total,
+        checkpoints=checkpoints,
+        census_seconds=time.perf_counter() - t0,
+        cache_hit=False,
+    )
+    if use_cache:
+        if len(_PLAN_CACHE) >= _PLAN_CACHE_MAX:
+            _PLAN_CACHE.pop(next(iter(_PLAN_CACHE)))
+        _PLAN_CACHE[key] = (module, plan)
+    return plan

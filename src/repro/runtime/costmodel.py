@@ -30,9 +30,17 @@ from dataclasses import dataclass, field
 CLOCK_HZ = 50_000_000.0
 
 
-@dataclass
+@dataclass(frozen=True)
 class CostModel:
-    """Cycle costs by instruction kind (see module docstring)."""
+    """Cycle costs by instruction kind (see module docstring).
+
+    Frozen: every run without an explicit model shares
+    :data:`DEFAULT_COST_MODEL`, so an instance must be immutable for
+    runs to be independent of each other (mutate-by-accident here would
+    silently change every later run in the process — including the
+    sliced-collection identity guarantee).  Derive variants with
+    ``dataclasses.replace`` or keyword construction.
+    """
 
     # Memory
     alloca: int = 2

@@ -9,7 +9,6 @@ bytes per scalar slot.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 
 from ..chapel.tokens import SourceLocation
@@ -35,7 +34,10 @@ class Heap:
     """Allocation registry for one program run."""
 
     def __init__(self) -> None:
-        self._ids = itertools.count(1)
+        # Plain-int allocator (not itertools.count): heap ids are part
+        # of the run state a collection checkpoint snapshots, so the
+        # next id must survive a pickle round-trip exactly.
+        self._next_id = 1
         self.allocations: dict[int, Allocation] = {}
         self.total_bytes = 0
         self.peak_bytes = 0
@@ -44,7 +46,8 @@ class Heap:
     def allocate(
         self, kind: str, n_slots: int, site: SourceLocation, func: str
     ) -> Allocation:
-        heap_id = next(self._ids)
+        heap_id = self._next_id
+        self._next_id += 1
         size = n_slots * BYTES_PER_SLOT
         alloc = Allocation(heap_id, kind, size, site, func)
         self.allocations[heap_id] = alloc

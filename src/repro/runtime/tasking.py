@@ -16,7 +16,6 @@ code-centric pprof profile in paper Fig. 4.
 
 from __future__ import annotations
 
-import itertools
 from collections import deque
 from operator import attrgetter
 from dataclasses import dataclass, field
@@ -142,16 +141,25 @@ class Scheduler:
             raise RuntimeError_("need at least one thread")
         self.threads = [WorkerThread(i) for i in range(num_threads)]
         self.run_queue: deque[Task] = deque()
-        self._spawn_tags = itertools.count(1)
+        # Both allocators are plain ints, not itertools.count objects:
+        # their values are part of the run's snapshottable state (a
+        # resumed collector must hand out the same tags/ids the serial
+        # run would), and plain ints pickle with the rest of the
+        # scheduler where a count iterator could not be inspected.
+        self._next_spawn_tag = 1
         #: Run-scoped task-id allocator (main task gets 0, spawned
         #: workers 1, 2, … in spawn order — deterministic per run).
-        self._task_ids = itertools.count()
+        self._next_task_id = 0
 
     def next_spawn_tag(self) -> int:
-        return next(self._spawn_tags)
+        tag = self._next_spawn_tag
+        self._next_spawn_tag += 1
+        return tag
 
     def next_task_id(self) -> int:
-        return next(self._task_ids)
+        tid = self._next_task_id
+        self._next_task_id += 1
+        return tid
 
     def enqueue(self, task: Task) -> None:
         task.state = "ready"

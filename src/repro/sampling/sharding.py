@@ -58,6 +58,28 @@ def shard_bounds(n_items: int, num_shards: int) -> list[tuple[int, int]]:
     ]
 
 
+def slice_points(n_samples: int, num_slices: int) -> list[int]:
+    """Interior cut positions for partitioning one run's *collection*
+    into ``num_slices`` simulated-time slices.
+
+    Same ``n*i//k`` arithmetic as :func:`shard_bounds`, expressed as the
+    strictly-increasing accepted-sample counts where one collector hands
+    off to the next (so the boundary list for ``k`` slices has at most
+    ``k-1`` entries; fewer when the stream is shorter than the slice
+    count).  The slice machinery tolerates *any* monotone cut set — the
+    identity proof does not depend on balance — so this is a balance
+    policy, not a correctness requirement.
+    """
+    if num_slices < 1:
+        raise ShardingError(f"need at least one slice (got {num_slices})")
+    if n_samples < 0:
+        raise ShardingError(f"negative stream length {n_samples}")
+    return sorted(
+        {n_samples * i // num_slices for i in range(1, num_slices)}
+        - {0, n_samples}
+    )
+
+
 def shard_stream(items: Sequence[T], num_shards: int) -> list[list[T]]:
     """Splits ``items`` into ``num_shards`` contiguous, balanced shards.
 

@@ -229,6 +229,17 @@ def profile_main(argv: list[str]) -> int:
         "to --workers 1 (default: 1, the serial path)",
     )
     ap.add_argument(
+        "--collect-workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="partition the run's virtual clock into N simulated-time "
+        "slices and collect each under its own interpreter+monitor in "
+        "a pool worker; the reassembled stream (and every downstream "
+        "artifact/view) is byte-identical to --collect-workers 1 "
+        "(default: 1, one monitor for the whole run)",
+    )
+    ap.add_argument(
         "--parallel-backend",
         choices=["auto", "process", "interpreter", "inline"],
         default="auto",
@@ -328,13 +339,26 @@ def profile_main(argv: list[str]) -> int:
         ap.error(f"--worker-retries must be >= 0 (got {args.worker_retries})")
     if args.worker_timeout is not None and args.worker_timeout <= 0.0:
         ap.error(f"--worker-timeout must be > 0 (got {args.worker_timeout})")
-    if args.worker_timeout is not None and args.workers <= 1:
-        ap.error("--worker-timeout needs --workers > 1")
+    if (args.worker_timeout is not None and args.workers <= 1
+            and args.collect_workers <= 1):
+        ap.error("--worker-timeout needs --workers or "
+                 "--collect-workers > 1")
     if args.speculate and args.worker_timeout is None:
         ap.error("--speculate needs --worker-timeout (it races the "
                  "tasks that exceed it)")
     if args.fail_on_degraded_shards and args.workers <= 1:
         ap.error("--fail-on-degraded-shards needs --workers > 1")
+    if args.collect_workers < 1:
+        ap.error(f"--collect-workers must be >= 1 (got {args.collect_workers})")
+    if args.adaptive and args.collect_workers > 1:
+        ap.error(
+            "--collect-workers is incompatible with --adaptive: the "
+            "adaptive stopping decision depends on the sample stream "
+            "collected so far, so time slices cannot run independently "
+            "(drop one of the two)"
+        )
+    if args.streaming and args.collect_workers > 1:
+        ap.error("--streaming is incompatible with --collect-workers > 1")
     if not 0.0 < args.confidence < 1.0:
         ap.error(f"--confidence must be in (0, 1) exclusive (got {args.confidence})")
     if not 0.0 < args.ci_width < 1.0:
@@ -379,6 +403,7 @@ def profile_main(argv: list[str]) -> int:
         worker_timeout=args.worker_timeout,
         worker_retries=args.worker_retries,
         speculate=args.speculate,
+        collect_workers=args.collect_workers,
     )
     adaptive = None
     if args.adaptive:
@@ -493,6 +518,24 @@ def profile_main(argv: list[str]) -> int:
             f"{trail.samples_collected} samples ({trail.stop_reason})]"
         )
     _print_degradation(result)
+    if result.collect_parallel is not None:
+        pc = result.collect_parallel
+        census = (
+            "census cached"
+            if pc.census_cached
+            else f"census {pc.census_seconds:.2f}s"
+        )
+        recovered = (
+            f", recovered slices {list(pc.recovered_slices)}"
+            if pc.recovered_slices
+            else ""
+        )
+        # stderr, so stdout stays byte-comparable across --collect-workers N.
+        print(
+            f"[collect: {pc.workers} slice workers via {pc.backend}, "
+            f"slices {pc.slice_counts}, {census}{recovered}]",
+            file=sys.stderr,
+        )
     if result.parallel is not None:
         par = result.parallel
         # stderr, so stdout stays byte-comparable across --workers N.

@@ -73,6 +73,11 @@ class ProfileResult:
     #: Sharded-pipeline outcome when the run used ``workers > 1``
     #: (carries the merged snapshot, per-shard partials and timings).
     parallel: "object | None" = None
+    #: Sliced-collection outcome when the run used
+    #: ``collect_workers > 1``
+    #: (:class:`~repro.pipeline.parallel.ParallelCollection`: per-slice
+    #: streams/timings, census accounting, the identity witness).
+    collect_parallel: "object | None" = None
     #: Decision trail of an adaptive run
     #: (:class:`~repro.sampling.adaptive.AdaptiveTrail`; None otherwise).
     adaptive: "object | None" = None
@@ -125,6 +130,7 @@ class Profiler:
         worker_timeout: "float | None" = None,
         worker_retries: int = 2,
         speculate: bool = False,
+        collect_workers: int = 1,
     ) -> None:
         if isinstance(source, Module):
             self.module = source
@@ -160,11 +166,18 @@ class Profiler:
             raise ParallelError(
                 f"worker_retries must be >= 0 (got {worker_retries})"
             )
+        if collect_workers < 1:
+            from ..errors import ParallelError
+
+            raise ParallelError(
+                f"need at least one collection worker (got {collect_workers})"
+            )
         self.workers = workers
         self.parallel_backend = parallel_backend
         self.worker_timeout = worker_timeout
         self.worker_retries = worker_retries
         self.speculate = speculate
+        self.collect_workers = collect_workers
 
     def _supervision(self, inject: bool = True):
         """The shard-supervision config for pool fan-outs (None on the
@@ -186,6 +199,39 @@ class Profiler:
             timeout=self.worker_timeout,
             max_retries=self.worker_retries,
             speculate=self.speculate,
+        )
+
+    def _collect_supervision(self):
+        """Shard supervision for the sliced-collection fan-out (None
+        when collection is serial).  Transport faults DO inject here —
+        a lost slice replays deterministically from its checkpoint, so
+        the schedule exercises recovery without costing identity."""
+        if self.collect_workers <= 1:
+            return None
+        from ..pipeline.supervisor import SupervisorConfig
+
+        return SupervisorConfig(
+            plan=self.faults,
+            timeout=self.worker_timeout,
+            max_retries=self.worker_retries,
+            speculate=self.speculate,
+        )
+
+    def _collect(self):
+        """Step 2 for the materialized paths: serial when
+        ``collect_workers == 1``, virtual-clock-sliced otherwise (the
+        reassembled monitor/stream is byte-identical either way)."""
+        return collect_stage(
+            self.module,
+            config=self.config,
+            num_threads=self.num_threads,
+            threshold=self.threshold,
+            cost_model=self.cost_model,
+            skid=self.skid,
+            skid_compensation=self.skid_compensation,
+            workers=self.collect_workers,
+            backend=self.parallel_backend,
+            supervision=self._collect_supervision(),
         )
 
     def _injector(self):
@@ -238,6 +284,22 @@ class Profiler:
                 "streaming mode is incompatible with workers > 1: the "
                 "bounded evidence window resolves candidates mid-stream, "
                 "which has no faithful sharded equivalent"
+            )
+        if self.collect_workers > 1 and adaptive is not None:
+            from ..errors import ParallelError
+
+            raise ParallelError(
+                "adaptive sampling is incompatible with collect_workers "
+                "> 1: the stopping decision depends on the stream so "
+                "far, so slices cannot be collected independently"
+            )
+        if self.collect_workers > 1 and streaming:
+            from ..errors import ParallelError
+
+            raise ParallelError(
+                "streaming mode is incompatible with collect_workers > "
+                "1: sliced collection retains per-slice streams and has "
+                "no bounded-memory sink"
             )
         # Step 1 — static analysis (fanned out when workers > 1).
         static_info = analyze_stage(
@@ -293,16 +355,9 @@ class Profiler:
             attribution = attribute_stage(static_info, pm)
             postmortem_seconds = pm_clock[0] + time.perf_counter() - t0
         else:
-            # Step 2 — execution under the monitor, stream retained.
-            coll = collect_stage(
-                self.module,
-                config=self.config,
-                num_threads=self.num_threads,
-                threshold=self.threshold,
-                cost_model=self.cost_model,
-                skid=self.skid,
-                skid_compensation=self.skid_compensation,
-            )
+            # Step 2 — execution under the monitor, stream retained
+            # (virtual-clock-sliced when collect_workers > 1).
+            coll = self._collect()
 
             # Optional fault injection between steps 2 and 3: the
             # monitor's stream stays pristine; post-mortem sees the
@@ -345,24 +400,18 @@ class Profiler:
             report=report,
             interpreter=coll.interpreter,
             fault_stats=injector.stats if injector is not None else None,
+            collect_parallel=coll.parallel,
         )
 
     def _profile_parallel(self, static_info, injector) -> ProfileResult:
-        """The sharded path: serial collection (the simulated run is the
-        sample source — it cannot shard), then pool-parallel post-mortem
-        + attribution reassembled through ``merge_snapshots``."""
+        """The sharded path: collection (serial, or virtual-clock-sliced
+        when ``collect_workers > 1`` — either way the stream is the
+        serial stream), then pool-parallel post-mortem + attribution
+        reassembled through ``merge_snapshots``."""
         from ..pipeline.parallel import parallel_postmortem
 
         # Step 2 — execution under the monitor, stream retained.
-        coll = collect_stage(
-            self.module,
-            config=self.config,
-            num_threads=self.num_threads,
-            threshold=self.threshold,
-            cost_model=self.cost_model,
-            skid=self.skid,
-            skid_compensation=self.skid_compensation,
-        )
+        coll = self._collect()
         monitor = coll.monitor
         # Degrade BEFORE sharding (the streaming degrader is
         # chunking-invariant, so every shard sees exactly the degraded
@@ -408,6 +457,7 @@ class Profiler:
             interpreter=coll.interpreter,
             fault_stats=injector.stats if injector is not None else None,
             parallel=par,
+            collect_parallel=coll.parallel,
         )
 
 

@@ -2,10 +2,9 @@
 
 One collected (and optionally degraded) sample stream per
 configuration, reused across tests: collection is deterministic
-(simulated clock, seeded degradation), and reusing the *same* stream is
-what makes serial-vs-parallel comparisons exact — task ids are
-process-global, so two separate runs differ in raw-sample task ids even
-though their artifacts agree byte for byte.
+(simulated clock, seeded degradation; task/spawn ids are per-scheduler,
+so repeated runs in one process produce identical streams) and reusing
+the same stream keeps the suite fast.
 """
 
 from __future__ import annotations
@@ -28,6 +27,14 @@ def benchmark_setup(name: str) -> tuple[str, str, dict]:
             minimd.build_source(optimized=False),
             "minimd.chpl",
             minimd.config_for(num_bins=6, per_bin=4, steps=3),
+        )
+    if name == "clomp":
+        from repro.bench.programs import clomp
+
+        return (
+            clomp.build_source(optimized=False),
+            "clomp.chpl",
+            clomp.config_for(num_parts=4, zones_per_part=6, timesteps=2),
         )
     if name == "lulesh":
         from repro.bench.programs import lulesh

@@ -1,0 +1,254 @@
+"""Sliced parallel collection: byte-identity of the reassembled stream,
+monitor and artifact across worker counts, backends and transport-fault
+schedules (the tentpole guarantee: ``--collect-workers N`` changes wall
+time, never bytes)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.artifact.format import artifact_bytes
+from repro.artifact.model import snapshot_from_result
+from repro.errors import ParallelError
+from repro.pipeline.parallel import parallel_collect
+from repro.pipeline.stages import collect_stage, compile_stage
+from repro.pipeline.supervisor import SupervisorConfig
+from repro.resilience.faults import FaultPlan
+from repro.tooling.profiler import Profiler
+
+from .conftest import FAULT_SPEC, NUM_THREADS, THRESHOLD, benchmark_setup
+
+_SETUP: dict = {}
+
+
+def setup_for(name: str):
+    """(module, config, serial Collection) — one serial witness per
+    benchmark, shared across the suite."""
+    if name not in _SETUP:
+        source, filename, config = benchmark_setup(name)
+        module = compile_stage(source, filename)
+        serial = collect_stage(
+            module, config=config, num_threads=NUM_THREADS, threshold=THRESHOLD
+        )
+        _SETUP[name] = (module, config, serial)
+    return _SETUP[name]
+
+
+def sliced(name: str, workers: int, backend: str = "inline", **kw):
+    module, config, _ = setup_for(name)
+    return parallel_collect(
+        module,
+        workers,
+        backend=backend,
+        config=config,
+        num_threads=NUM_THREADS,
+        threshold=THRESHOLD,
+        **kw,
+    )
+
+
+def assert_identical(pc, serial) -> None:
+    assert pc.sealed_stream == serial.monitor.sealed_stream()
+    assert b"".join(pc.slice_streams) == pc.sealed_stream
+    assert pc.monitor.samples == serial.monitor.samples
+    assert pc.monitor.n_accepted == serial.monitor.n_accepted
+    assert (
+        pc.monitor.dataset_size_bytes() == serial.monitor.dataset_size_bytes()
+    )
+    assert (
+        pc.monitor.overhead.stackwalk_cycles_total
+        == serial.monitor.overhead.stackwalk_cycles_total
+    )
+    rr, sr = pc.run_result, serial.run_result
+    assert rr.output == sr.output
+    assert rr.wall_seconds == sr.wall_seconds
+    assert rr.total_cycles == sr.total_cycles
+    assert rr.idle_cycles == sr.idle_cycles
+    assert rr.busy_cycles == sr.busy_cycles
+    assert rr.instructions_executed == sr.instructions_executed
+
+
+class TestInlineIdentity:
+    @pytest.mark.parametrize("workers", [1, 2, 3, 5, 8])
+    def test_minimd_worker_sweep(self, workers):
+        _, _, serial = setup_for("minimd")
+        pc = sliced("minimd", workers)
+        assert_identical(pc, serial)
+        assert len(pc.slice_counts) == workers
+        assert sum(pc.slice_counts) == serial.monitor.n_accepted
+
+    @pytest.mark.parametrize("bench", ["clomp", "lulesh"])
+    def test_other_benchmarks(self, bench):
+        _, _, serial = setup_for(bench)
+        assert_identical(sliced(bench, 4), serial)
+
+    def test_census_cache_warms_and_stays_identical(self):
+        _, _, serial = setup_for("minimd")
+        cold = sliced("minimd", 4, use_census_cache=False)
+        warm1 = sliced("minimd", 4)
+        warm2 = sliced("minimd", 4)
+        assert not cold.census_cached and cold.census_seconds > 0.0
+        assert warm2.census_cached and warm2.census_seconds == 0.0
+        for pc in (cold, warm1, warm2):
+            assert_identical(pc, serial)
+
+    def test_accounting(self):
+        pc = sliced("minimd", 3)
+        assert pc.workers == 3 and pc.backend == "inline"
+        assert len(pc.slice_seconds) == 3
+        assert pc.critical_path_seconds >= max(pc.slice_seconds)
+        assert pc.recovered_slices == ()
+        assert pc.supervision is None
+        assert pc.interpreter.num_threads == NUM_THREADS
+        assert pc.interpreter.heap is pc.run_result.heap
+
+
+class TestProcessBackend:
+    def test_minimd_byte_identical(self):
+        _, _, serial = setup_for("minimd")
+        assert_identical(sliced("minimd", 3, backend="process"), serial)
+
+    def test_supervised_process_pool(self):
+        _, _, serial = setup_for("minimd")
+        pc = sliced(
+            "minimd",
+            2,
+            backend="process",
+            supervision=SupervisorConfig(backoff=0.0),
+        )
+        assert_identical(pc, serial)
+        assert pc.supervision is not None
+
+
+class TestTransportFaults:
+    """Slice dispatches inherit the shard supervisor's fault machinery;
+    every schedule must preserve the stream bytes exactly."""
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "worker-crash=0;2",
+            "worker-kill=1",
+            "payload-corrupt=2",
+            "worker-hang=1,hang-seconds=20",
+        ],
+    )
+    def test_retryable_schedules(self, spec):
+        _, _, serial = setup_for("minimd")
+        cfg = SupervisorConfig(
+            plan=FaultPlan.parse(spec),
+            backoff=0.0,
+            max_retries=2,
+            timeout=0.5,
+        )
+        pc = sliced("minimd", 3, supervision=cfg)
+        assert_identical(pc, serial)
+        assert pc.recovered_slices == ()
+        assert pc.supervision.retries >= 1
+
+    def test_exhausted_slice_replays_inline(self):
+        # worker-dead fails every dispatch; the parent must re-collect
+        # the slice itself (collection has no <unknown> to degrade to).
+        _, _, serial = setup_for("minimd")
+        cfg = SupervisorConfig(
+            plan=FaultPlan.parse("worker-dead=1"), backoff=0.0, max_retries=1
+        )
+        pc = sliced("minimd", 3, supervision=cfg)
+        assert_identical(pc, serial)
+        assert pc.recovered_slices == (1,)
+
+
+class TestCollectStageRouting:
+    def test_workers_gt_one_slices(self):
+        module, config, serial = setup_for("minimd")
+        coll = collect_stage(
+            module,
+            config=config,
+            num_threads=NUM_THREADS,
+            threshold=THRESHOLD,
+            workers=3,
+            backend="inline",
+        )
+        assert coll.parallel is not None
+        assert coll.parallel.sealed_stream == serial.monitor.sealed_stream()
+        assert coll.monitor.samples == serial.monitor.samples
+        assert coll.interpreter.num_threads == NUM_THREADS
+
+    def test_sink_is_rejected(self):
+        module, config, _ = setup_for("minimd")
+        with pytest.raises(ValueError):
+            collect_stage(
+                module,
+                config=config,
+                num_threads=NUM_THREADS,
+                threshold=THRESHOLD,
+                workers=2,
+                backend="inline",
+                sink=lambda batch: None,
+            )
+
+    def test_validation(self):
+        module, config, _ = setup_for("minimd")
+        with pytest.raises(ParallelError):
+            parallel_collect(module, 0, config=config, threshold=THRESHOLD)
+        with pytest.raises(ParallelError):
+            parallel_collect(module, 2, config=config, threshold=0)
+        with pytest.raises(ParallelError):
+            parallel_collect(
+                module, 2, backend="bogus", config=config, threshold=THRESHOLD
+            )
+
+
+class TestProfilerIntegration:
+    def _profile(self, faults=None, streaming=False, adaptive=None, **kw):
+        source, filename, config = benchmark_setup("minimd")
+        return Profiler(
+            source,
+            filename,
+            config=config,
+            num_threads=NUM_THREADS,
+            threshold=THRESHOLD,
+            faults=faults,
+            **kw,
+        ).profile(streaming=streaming, adaptive=adaptive)
+
+    def _bytes(self, result):
+        return artifact_bytes(
+            snapshot_from_result(
+                result, threshold=THRESHOLD, canonical_timings=True
+            )
+        )
+
+    def test_artifact_bytes_identical_clean(self):
+        base = self._profile()
+        pc = self._profile(collect_workers=4, parallel_backend="inline")
+        assert pc.collect_parallel is not None
+        assert self._bytes(base) == self._bytes(pc)
+
+    def test_artifact_bytes_identical_with_stream_faults(self):
+        # Stream degradation happens after collection in the parent, so
+        # it composes with slicing without touching the identity.
+        base = self._profile(faults=FAULT_SPEC)
+        pc = self._profile(
+            faults=FAULT_SPEC, collect_workers=3, parallel_backend="inline"
+        )
+        assert self._bytes(base) == self._bytes(pc)
+
+    def test_composes_with_sharded_postmortem(self):
+        base = self._profile()
+        both = self._profile(
+            workers=3, collect_workers=3, parallel_backend="inline"
+        )
+        assert both.parallel is not None
+        assert both.collect_parallel is not None
+        assert self._bytes(base) == self._bytes(both)
+
+    def test_adaptive_is_rejected(self):
+        with pytest.raises(ParallelError):
+            self._profile(collect_workers=2, parallel_backend="inline",
+                          adaptive=True)
+
+    def test_streaming_is_rejected(self):
+        with pytest.raises(ParallelError):
+            self._profile(collect_workers=2, parallel_backend="inline",
+                          streaming=True)

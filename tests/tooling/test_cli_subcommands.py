@@ -243,3 +243,66 @@ class TestMergeDiff:
         )
         assert rc == 0
         assert "Blame shift: before -> after" in capsys.readouterr().out
+
+
+class TestCollectWorkers:
+    """--collect-workers: byte-identity through the CLI and the S6
+    validation contract (incompatible combos exit 2 with a clear
+    message, before any work starts)."""
+
+    def test_stdout_and_artifact_byte_identical(
+        self, source_file, tmp_path, capsys
+    ):
+        serial_art = tmp_path / "serial.cbp"
+        rc = cli_main(
+            ["profile", source_file, "-o", str(serial_art), "--view", "all",
+             *FAST_ARGS]
+        )
+        assert rc == 0
+        serial_out = capsys.readouterr().out.replace(str(serial_art), "ART")
+
+        sliced_art = tmp_path / "sliced.cbp"
+        rc = cli_main(
+            ["profile", source_file, "-o", str(sliced_art), "--view", "all",
+             "--collect-workers", "3", "--parallel-backend", "inline",
+             *FAST_ARGS]
+        )
+        assert rc == 0
+        captured = capsys.readouterr()
+        sliced_out = captured.out.replace(str(sliced_art), "ART")
+
+        assert sliced_out == serial_out
+        assert serial_art.read_bytes() == sliced_art.read_bytes()
+        # The slice summary goes to stderr, keeping stdout comparable.
+        assert "[collect: 3 slice workers" in captured.err
+
+    def test_adaptive_combo_exits_2_with_clear_message(
+        self, source_file, capsys
+    ):
+        with pytest.raises(SystemExit) as exc:
+            cli_main(
+                ["profile", source_file, "--adaptive",
+                 "--collect-workers", "2", *FAST_ARGS]
+            )
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "usage:" in err
+        assert "--collect-workers is incompatible with --adaptive" in err
+        assert "stopping decision" in err
+
+    def test_streaming_combo_exits_2(self, source_file, capsys):
+        with pytest.raises(SystemExit) as exc:
+            cli_main(
+                ["profile", source_file, "--streaming",
+                 "--collect-workers", "2", *FAST_ARGS]
+            )
+        assert exc.value.code == 2
+
+    def test_below_one_exits_2(self, source_file, capsys):
+        with pytest.raises(SystemExit) as exc:
+            cli_main(
+                ["profile", source_file, "--collect-workers", "0",
+                 *FAST_ARGS]
+            )
+        assert exc.value.code == 2
+        assert "--collect-workers must be >= 1" in capsys.readouterr().err
